@@ -1,0 +1,110 @@
+"""Ablation: fault-tolerance design choices (§3's design-space discussion).
+
+Three sweeps on a fixed stateful-call stream:
+
+* checkpoint interval — the paper checkpoints after *every* call; less
+  frequent checkpointing is the obvious optimization it defers to future
+  work;
+* checkpoint store backend — the paper's in-memory proof of concept vs.
+  the deferred "real persistency" on disk;
+* checkpointing vs. active/passive replication — the resource argument
+  that motivates the paper's choice ("it is not desirable to use a large
+  amount of the computational resources ... exclusively for availability
+  purposes as in the case of active replication").
+"""
+
+from repro.bench import format_table
+from repro.bench.ftbench import (
+    checkpoint_interval_sweep,
+    replicated_store_compare,
+    replication_compare,
+    store_backend_compare,
+)
+
+
+def run_all():
+    return {
+        "interval": checkpoint_interval_sweep(),
+        "backend": store_backend_compare(),
+        "replication": replication_compare(),
+        "store_replication": replicated_store_compare(),
+    }
+
+
+def test_ft_design_ablation(benchmark, save_result):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    sections = []
+    sections.append(
+        format_table(
+            ["checkpoint interval", "runtime [s]", "checkpoints"],
+            [
+                [row.label, f"{row.runtime:.3f}", row.extra["checkpoints"]]
+                for row in results["interval"]
+            ],
+            title="Checkpoint frequency (40 calls, 20 ms each)",
+        )
+    )
+    sections.append(
+        format_table(
+            ["store backend", "runtime [s]"],
+            [[row.label, f"{row.runtime:.3f}"] for row in results["backend"]],
+            title="Checkpoint store backend",
+        )
+    )
+    sections.append(
+        format_table(
+            ["style", "runtime [s]", "total CPU work [s]", "hosts dedicated"],
+            [
+                [
+                    row.label,
+                    f"{row.runtime:.3f}",
+                    f"{row.extra['cpu_work']:.2f}",
+                    row.extra["hosts_dedicated"],
+                ]
+                for row in results["replication"]
+            ],
+            title="Checkpointing vs replication (30 calls, 50 ms each, 3 replicas)",
+        )
+    )
+    sections.append(
+        format_table(
+            ["checkpoint store", "runtime [s]", "survives store crash", "final total"],
+            [
+                [
+                    row.label,
+                    f"{row.runtime:.3f}",
+                    row.extra["survived_store_crash"],
+                    row.extra["final_total"],
+                ]
+                for row in results["store_replication"]
+            ],
+            title="Store SPOF removal (store host crashes mid-stream, then the service)",
+        )
+    )
+    text = "\n\n".join(sections)
+
+    # Shape assertions.
+    interval_runtimes = [row.runtime for row in results["interval"]]
+    assert interval_runtimes == sorted(interval_runtimes, reverse=True)
+    backend = {row.label: row.runtime for row in results["backend"]}
+    assert backend["disk"] > backend["memory"]
+    replication = {row.label: row.extra["cpu_work"] for row in results["replication"]}
+    # Active replication burns ~3x the CPU of the plain run; checkpointing
+    # costs only the per-call snapshot overhead.
+    assert replication["active"] > 2.5 * replication["plain"]
+    assert replication["checkpoint"] < 1.6 * replication["plain"]
+    assert replication["passive"] < replication["active"]
+    store_rows = {row.extra["replicas"]: row for row in results["store_replication"]}
+    assert not store_rows[1].extra["survived_store_crash"]  # the paper's SPOF
+    assert store_rows[3].extra["survived_store_crash"]
+    assert store_rows[3].extra["final_total"] == 20.0  # state exact
+
+    save_result(
+        "ablation_ft_design",
+        text,
+        {
+            section: [row.__dict__ for row in rows]
+            for section, rows in results.items()
+        },
+    )

@@ -1,0 +1,55 @@
+"""Ablation: naming-service selection strategies vs. the trader and the
+ORB-locator baselines (§2's full design space).
+
+Compares the four selection strategies of the load-distributing naming
+context, both trader modes, and the LOCATION_FORWARD-based ORB locator on
+the 30-dim/3-worker workload.  Expected: every load-aware mechanism
+achieves equal placement quality (the paper's point is that *transparency
+and portability* differ, not placement); load-oblivious strategies degrade
+once background load appears.
+"""
+
+from repro.bench import format_table
+from repro.bench.namingbench import (
+    forwarding_sweep,
+    naming_strategy_sweep,
+    trader_sweep,
+)
+
+
+def run_all():
+    return naming_strategy_sweep() + trader_sweep() + forwarding_sweep()
+
+
+def test_naming_strategy_ablation(benchmark, save_result):
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    bg_values = sorted({row.background_hosts for row in rows})
+    by_mechanism: dict[str, dict[int, float]] = {}
+    for row in rows:
+        by_mechanism.setdefault(row.mechanism, {})[row.background_hosts] = row.runtime
+
+    table_rows = [
+        [mechanism] + [f"{curve.get(bg, float('nan')):.2f}" for bg in bg_values]
+        for mechanism, curve in sorted(by_mechanism.items())
+    ]
+    text = format_table(
+        ["mechanism"] + [f"bg={bg}" for bg in bg_values],
+        table_rows,
+        title="Naming ablation: runtime [simulated s], 30-dim/3 workers",
+    )
+
+    winner = by_mechanism["winner"]
+    # Load-aware mechanisms match each other within tolerance.
+    for mechanism in ("trader-centralized", "trader-decentralized", "orb-locator"):
+        for bg in bg_values:
+            assert by_mechanism[mechanism][bg] <= winner[bg] * 1.15, mechanism
+    # Load-oblivious mechanisms are strictly worse under load.
+    assert by_mechanism["round-robin"][2] > winner[2] * 1.3
+    assert by_mechanism["first-bound"][2] >= by_mechanism["round-robin"][2]
+
+    save_result(
+        "ablation_naming_strategies",
+        text,
+        {"rows": [row.__dict__ for row in rows]},
+    )

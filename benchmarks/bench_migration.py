@@ -1,0 +1,37 @@
+"""Load-triggered migration (DESIGN.md: abl-migration; §3's remark that
+checkpointing also enables migration "due to a changing load situation").
+
+Heavy competing load arrives on the service's host a quarter into a call
+stream.  Without migration the remaining calls run at a quarter speed;
+with the Winner-driven migration policy the service moves to an idle host
+and finishes much earlier, with its state intact."""
+
+from repro.bench import format_table
+from repro.bench.ftbench import migration_bench
+
+
+def test_migration_under_load_shift(benchmark, save_result):
+    rows = benchmark.pedantic(migration_bench, rounds=1, iterations=1)
+
+    text = format_table(
+        ["policy", "runtime [s]", "migrations", "final host"],
+        [
+            [
+                row.label,
+                f"{row.runtime:.3f}",
+                row.extra["migrations"],
+                row.extra["final_host"],
+            ]
+            for row in rows
+        ],
+        title="Migration under a mid-run load shift (40 calls, 50 ms each)",
+    )
+
+    off = next(row for row in rows if row.label == "migration off")
+    on = next(row for row in rows if row.label == "migration on")
+    assert on.extra["migrations"] >= 1
+    assert off.extra["migrations"] == 0
+    assert on.runtime < off.runtime * 0.7  # substantial win
+    assert on.extra["final_host"] != "ws01"  # it actually moved
+
+    save_result("migration", text, {"rows": [row.__dict__ for row in rows]})

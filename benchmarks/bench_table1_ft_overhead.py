@@ -1,0 +1,44 @@
+"""Table 1 — "Runtimes for a 100 dimensional Rosenbrock function with 7
+worker problems and a varying number of worker iterations", without and
+with fault-tolerance proxies, plus overhead %.
+
+Expected shape (per the paper): "fault tolerance comes at quite a cost in
+this scenario.  In the worst case, the application runtime using proxy
+objects is more than three times that of the plain version.  Because the
+overhead is constant for each method call, the relative slowdown is lower
+the more time is spent in the called method."
+"""
+
+from repro.bench import format_table, table1_sweep
+
+
+def test_table1_ft_overhead(benchmark, save_result):
+    rows = benchmark.pedantic(table1_sweep, rounds=1, iterations=1)
+
+    text = format_table(
+        ["iterations", "runtime w/o proxy [s]", "runtime w/ proxy [s]", "overhead [%]"],
+        [
+            [
+                row.iterations,
+                f"{row.runtime_without_proxy:.2f}",
+                f"{row.runtime_with_proxy:.2f}",
+                f"{row.overhead_percent:.1f}",
+            ]
+            for row in rows
+        ],
+        title="Table 1: fault-tolerance proxy overhead (100-dim, 7 workers)",
+    )
+
+    # Shape assertions.
+    overheads = [row.overhead_percent for row in rows]
+    assert overheads == sorted(overheads, reverse=True), "overhead must fall"
+    worst = rows[0]
+    assert worst.runtime_with_proxy > 3.0 * worst.runtime_without_proxy
+    plain = [row.runtime_without_proxy for row in rows]
+    assert plain == sorted(plain), "plain runtime grows with iterations"
+
+    save_result(
+        "table1_ft_overhead",
+        text,
+        {"rows": [row.__dict__ | {"overhead_percent": row.overhead_percent} for row in rows]},
+    )

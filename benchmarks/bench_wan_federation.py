@@ -1,0 +1,46 @@
+"""Wide-area federation bench (the paper's future work (c), quantified).
+
+A burst of jobs hits the EU site of a two-site WAN.  Federation spills the
+overflow to the idle US site:
+
+* for compute-heavy jobs (2 s each) whole extra machines dwarf the 40 ms
+  WAN round trips — federation roughly halves completion time;
+* for tiny jobs (50 ms each) WAN latency eats the gain — staying local
+  wins, and the meta-manager's WAN penalty factor is what keeps everyday
+  traffic from needlessly crossing the ocean.
+"""
+
+from repro.bench import format_table
+from repro.bench.wanbench import wan_compare
+
+
+def test_wan_federation(benchmark, save_result):
+    rows = benchmark.pedantic(wan_compare, rounds=1, iterations=1)
+
+    text = format_table(
+        ["policy", "jobs", "job size [s]", "completion [s]", "remote jobs"],
+        [
+            [
+                row.policy,
+                row.jobs,
+                f"{row.job_seconds:.2f}",
+                f"{row.completion_time:.3f}",
+                row.remote_jobs,
+            ]
+            for row in rows
+        ],
+        title="Wide-area metacomputing: burst of jobs at the EU site",
+    )
+
+    by_key = {(row.policy, row.job_seconds): row for row in rows}
+    big_local = by_key[("local-only", 2.0)].completion_time
+    big_fed = by_key[("federated", 2.0)].completion_time
+    small_local = by_key[("local-only", 0.05)].completion_time
+    small_fed = by_key[("federated", 0.05)].completion_time
+    # Compute-heavy: federation wins big.
+    assert big_fed < big_local * 0.65
+    assert by_key[("federated", 2.0)].remote_jobs >= 3
+    # Latency-dominated: local-only wins (the WAN penalty exists for a reason).
+    assert small_fed > small_local
+
+    save_result("wan_federation", text, {"rows": [row.__dict__ for row in rows]})

@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark suite.
+
+Every bench follows the same shape: run a sweep once through
+``benchmark.pedantic`` (the measured quantity is harness wall time; the
+scientific results are *simulated* runtimes inside the rows), print the
+paper-shaped table, and drop machine-readable JSON + text artifacts under
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def save_result():
+    """Persist a bench's table and payload under benchmarks/results/."""
+
+    def _save(name: str, text: str, payload) -> None:
+        from repro.bench.reporting import write_json
+
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        write_json(RESULTS_DIR / f"{name}.json", payload)
+        print("\n" + text)
+
+    return _save

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Winner batch queueing coexisting with interactive CORBA services.
+
+The Winner system the paper builds on also ran batch jobs (see the
+companion paper of its reference [1]).  This example shows both kinds of
+work sharing one NOW:
+
+* a stream of batch jobs (different priorities, one crashing host) is
+  queued and placed by the batch scheduler on the currently best hosts;
+* meanwhile an interactive CORBA service is resolved through the
+  load-distributing naming service — which steers it *away* from the
+  hosts the batch jobs are occupying, because batch load is ordinary CPU
+  load to the node managers.
+
+Run:  python examples/batch_queueing.py
+"""
+
+from repro.core import Runtime, RuntimeConfig
+from repro.orb import compile_idl
+from repro.services.naming.names import to_name
+from repro.winner.batch import BatchQueue, JobState
+
+runtime = Runtime(RuntimeConfig(num_hosts=5, seed=9, winner_interval=0.5)).start()
+runtime.settle(2.0)
+
+queue = BatchQueue(
+    runtime.cluster, runtime.system_manager, slots_per_host=1
+)
+
+# Submit a mixed workload: three long low-priority jobs, then an urgent one.
+long_jobs = [queue.submit(work=20.0, name=f"sim-{i}", priority=0) for i in range(3)]
+urgent = queue.submit(work=2.0, name="urgent-analysis", priority=10)
+
+# An interactive service deployed everywhere.
+ns = compile_idl("interface Probe { string where(); };")
+
+
+class ProbeImpl(ns.ProbeSkeleton):
+    def where(self):
+        return self._host().name
+
+
+runtime.register_type("Probe", ProbeImpl)
+runtime.run(runtime.deploy_group("probe.service", "Probe", [1, 2, 3, 4]))
+
+# Crash one busy host mid-run: its job is requeued elsewhere.
+runtime.sim.schedule(5.0, runtime.cluster.host(long_jobs[0].host or 1).crash)
+
+
+def interactive_client():
+    yield runtime.sim.timeout(4.0)  # batch jobs are now spread out
+    naming = runtime.naming_stub(0)
+    ior = yield naming.resolve(to_name("probe.service"))
+    stub = runtime.orb(0).stub(ior, ns.ProbeStub)
+    host = yield stub.where()
+    busy = sorted({job.host for job in queue.jobs.values() if job.host})
+    print(f"batch jobs running on : {busy}")
+    print(f"interactive call went : {host}  (avoiding the batch load)")
+
+
+runtime.run(interactive_client())
+runtime.sim.run_until_done(
+    runtime.sim.all_of([job.completion for job in long_jobs + [urgent]]),
+    limit=1e4,
+)
+
+print("\njob history:")
+for job in queue.jobs.values():
+    wait = f"{job.waiting_time:5.2f}s wait" if job.waiting_time is not None else ""
+    print(
+        f"  {job.name:16s} prio={job.priority:2d} {job.state.value:9s} "
+        f"on {job.host or '-':5s} restarts={job.restarts} {wait}"
+    )
+stats = queue.stats()
+print(
+    f"\ncompleted {stats['completed']}/{stats['submitted']} "
+    f"(mean wait {stats['mean_wait']:.2f}s); the urgent job jumped the queue "
+    "and the crashed host's job restarted elsewhere."
+)
+assert urgent.state is JobState.DONE
+assert all(job.state is JobState.DONE for job in long_jobs)

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Load-triggered service migration (§3's closing remark).
+
+"If a class offers this functionality for checkpointing and restoring a
+certain internal state it is in principle possible to migrate a service
+from [one] host to another one not only when an error occured but also due
+to a changing load situation on a host."
+
+A long-running simulation service starts on ws01; midway through, a heavy
+competing workload arrives there.  A :class:`MigrationPolicy` watching the
+Winner system manager notices ws01's score collapse and moves the service
+(checkpoint → create → restore → rebind) to the best idle host — its state
+intact, its clients' proxy transparently re-pointed.
+
+Run:  python examples/service_migration.py
+"""
+
+from repro.cluster import BackgroundLoad
+from repro.core import Runtime, RuntimeConfig
+from repro.ft import MigrationPolicy
+from repro.ft.checkpointable import CHECKPOINTABLE_IDL
+from repro.orb import compile_idl
+
+runtime = Runtime(RuntimeConfig(num_hosts=5, seed=13, winner_interval=0.5)).start()
+
+ns = compile_idl(
+    CHECKPOINTABLE_IDL
+    + """
+    interface Simulation : FT::Checkpointable {
+        double step(in double dt);
+        double time_simulated();
+        string host();
+    };
+    """
+)
+
+
+class SimulationImpl(ns.SimulationSkeleton):
+    def __init__(self):
+        self._t = 0.0
+
+    def step(self, dt):
+        yield self._host().execute(0.2)  # each step costs simulated CPU
+        self._t += dt
+        return self._t
+
+    def time_simulated(self):
+        return self._t
+
+    def host(self):
+        return self._host().name
+
+    def get_checkpoint(self):
+        return {"t": self._t}
+
+    def restore_from(self, state):
+        self._t = float(state["t"])
+
+
+runtime.register_type("Simulation", SimulationImpl)
+ior = runtime.orb(1).poa.activate(SimulationImpl())
+proxy = runtime.ft_proxy(
+    ns.SimulationStub, ior, key="sim-1", type_name="Simulation"
+)
+runtime.settle(3.0)
+
+policy = MigrationPolicy(
+    proxy,
+    runtime.naming_stub(0),
+    runtime.system_manager,
+    interval=1.0,
+    improvement_factor=1.5,
+).start()
+
+
+def client():
+    sim = runtime.sim
+    hosts_seen = []
+    for step in range(20):
+        t = yield proxy.step(0.1)
+        host = proxy.ior.host
+        if not hosts_seen or hosts_seen[-1] != host:
+            hosts_seen.append(host)
+            print(f"t={sim.now:7.3f}s  step {step:2d}: running on {host}")
+        if step == 6:
+            print(f"t={sim.now:7.3f}s  *** heavy load arrives on {host} ***")
+            BackgroundLoad(
+                runtime.cluster.host(host), intensity=3, chunk=0.25
+            ).start()
+        yield sim.timeout(0.4)
+    final = yield proxy.time_simulated()
+    print(
+        f"\nsimulated {final:.1f} time units across hosts {hosts_seen}; "
+        f"migrations: {policy.migrations}"
+    )
+    assert abs(final - 2.0) < 1e-9, "state must survive the migration"
+
+
+if __name__ == "__main__":
+    runtime.run(client())
+    policy.stop()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 660 editable
+installs fail; this shim lets ``pip install -e . --no-build-isolation`` fall
+back to the classic ``setup.py develop`` path. All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

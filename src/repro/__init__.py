@@ -1,0 +1,37 @@
+"""repro — reproduction of *CORBA Based Runtime Support for Load
+Distribution and Fault Tolerance* (Barth, Flender, Freisleben, Grauer,
+Thilo; IPPS 2000).
+
+The package provides, from the bottom up:
+
+* :mod:`repro.sim` — deterministic discrete-event kernel (processes,
+  futures, processor-sharing CPUs, channels);
+* :mod:`repro.cluster` — the simulated network of workstations (hosts,
+  network, background load, failure injection);
+* :mod:`repro.orb` — a CORBA-style ORB: CDR marshalling, an IDL compiler
+  producing stubs and skeletons, GIOP-style messaging, a POA object adapter,
+  and the Dynamic Invocation Interface;
+* :mod:`repro.winner` — the Winner resource management system (node
+  managers, system manager, host ranking);
+* :mod:`repro.services` — CORBA object services: the CosNaming subset with
+  the paper's load-distributing naming context, a trader baseline and the
+  checkpoint storage service;
+* :mod:`repro.ft` — fault tolerance: auto-generated checkpointing proxies,
+  DII request proxies, recovery, migration and replication baselines;
+* :mod:`repro.opt` — the evaluation workload: the Complex Box optimizer and
+  the decomposed Rosenbrock manager/worker scheme;
+* :mod:`repro.core` — the high-level :class:`~repro.core.runtime.Runtime`
+  facade and the experiment scenario driver.
+
+Quickstart::
+
+    from repro.core import Runtime, RuntimeConfig
+
+    rt = Runtime(RuntimeConfig(num_hosts=6, seed=7))
+    rt.start()
+    ...
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,26 @@
+"""Benchmark harness: drivers that regenerate the paper's tables/figures.
+
+Each experiment (Fig. 3, Table 1, and the ablations in DESIGN.md) has a
+driver here that runs the parameter sweep on the simulated NOW and returns
+rows shaped like the paper's artifact; ``benchmarks/`` wraps them in
+pytest-benchmark targets and prints/saves the results.
+"""
+
+from repro.bench.harness import (
+    Fig3Point,
+    Table1Row,
+    fig3_curves,
+    fig3_sweep,
+    table1_sweep,
+)
+from repro.bench.reporting import format_table, write_json
+
+__all__ = [
+    "Fig3Point",
+    "Table1Row",
+    "fig3_curves",
+    "fig3_sweep",
+    "format_table",
+    "table1_sweep",
+    "write_json",
+]

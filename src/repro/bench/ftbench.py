@@ -1,0 +1,377 @@
+"""Drivers for the fault-tolerance ablation benches (DESIGN.md: abl-ft,
+abl-recovery, abl-migration).
+
+The workload is a stateful ``Accumulator`` service receiving a stream of
+calls of fixed simulated cost — a distilled version of the worker traffic
+in Table 1, small enough that each ablation cell runs in well under a
+second of wall time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.cluster import BackgroundLoad
+from repro.core import Runtime, RuntimeConfig
+from repro.ft import (
+    ActiveReplicationGroup,
+    FtPolicy,
+    MigrationPolicy,
+    PassiveReplicationGroup,
+)
+from repro.ft.checkpointable import CHECKPOINTABLE_IDL
+from repro.orb import compile_idl
+
+ACCUMULATOR_IDL = CHECKPOINTABLE_IDL + """
+interface BenchAccumulator : FT::Checkpointable {
+    double add(in double amount, in double work);
+    double total();
+};
+"""
+
+ns = compile_idl(ACCUMULATOR_IDL, name="bench-accumulator")
+
+
+class AccumulatorImpl(ns.BenchAccumulatorSkeleton):
+    def __init__(self) -> None:
+        self._total = 0.0
+
+    def add(self, amount, work):
+        yield self._host().execute(work)
+        self._total += amount
+        return self._total
+
+    def total(self):
+        return self._total
+
+    def get_checkpoint(self):
+        return {"total": self._total}
+
+    def restore_from(self, state):
+        self._total = float(state["total"])
+
+
+def _runtime(num_hosts=6, seed=17, **kwargs) -> Runtime:
+    runtime = Runtime(
+        RuntimeConfig(
+            num_hosts=num_hosts, seed=seed, winner_interval=0.5, **kwargs
+        )
+    ).start()
+    runtime.register_type("BenchAccumulator", AccumulatorImpl)
+    runtime.settle(3.0)
+    return runtime
+
+
+@dataclass(frozen=True)
+class AblationRow:
+    label: str
+    runtime: float
+    extra: dict
+
+
+def checkpoint_interval_sweep(
+    intervals: Sequence[int] = (1, 2, 5, 10),
+    calls: int = 40,
+    call_work: float = 0.02,
+) -> list[AblationRow]:
+    """Runtime of a call stream vs. checkpoint frequency (every k-th call).
+
+    ``interval=1`` is the paper's configuration; larger intervals trade
+    recovery granularity for overhead — the obvious §5 "optimizing the
+    prototype" direction."""
+    rows = []
+    for interval in intervals:
+        runtime = _runtime()
+        ior = runtime.orb(1).poa.activate(AccumulatorImpl())
+        proxy = runtime.ft_proxy(
+            ns.BenchAccumulatorStub,
+            ior,
+            key="acc",
+            type_name="BenchAccumulator",
+            policy=FtPolicy(checkpoint_interval=interval),
+        )
+
+        def client():
+            start = runtime.sim.now
+            for _ in range(calls):
+                yield proxy.add(1.0, call_work)
+            return runtime.sim.now - start
+
+        elapsed = runtime.run(client())
+        rows.append(
+            AblationRow(
+                label=f"every {interval}",
+                runtime=elapsed,
+                extra={
+                    "interval": interval,
+                    "checkpoints": proxy._ft.checkpoints_taken,
+                },
+            )
+        )
+    return rows
+
+
+def store_backend_compare(
+    calls: int = 30, call_work: float = 0.02
+) -> list[AblationRow]:
+    """Memory vs. simulated-disk checkpoint store ("no real persistency
+    like storing checkpoints on disk media has been implemented, yet")."""
+    rows = []
+    for backend in ("memory", "disk"):
+        runtime = _runtime(checkpoint_backend=backend)
+        ior = runtime.orb(1).poa.activate(AccumulatorImpl())
+        proxy = runtime.ft_proxy(
+            ns.BenchAccumulatorStub, ior, key="acc", type_name="BenchAccumulator"
+        )
+
+        def client():
+            start = runtime.sim.now
+            for _ in range(calls):
+                yield proxy.add(1.0, call_work)
+            return runtime.sim.now - start
+
+        rows.append(
+            AblationRow(
+                label=backend,
+                runtime=runtime.run(client()),
+                extra={"backend": backend},
+            )
+        )
+    return rows
+
+
+def replication_compare(
+    calls: int = 30,
+    call_work: float = 0.05,
+    replicas: int = 3,
+) -> list[AblationRow]:
+    """Checkpointing vs. active/passive replication: the §3 resource
+    argument.  Reports both completion time and total CPU work burned."""
+    rows = []
+    for style in ("plain", "checkpoint", "passive", "active"):
+        runtime = _runtime(num_hosts=max(6, replicas + 2))
+        hosts = list(range(1, replicas + 1))
+        work_before = _total_cpu_work(runtime)
+
+        if style in ("plain", "checkpoint"):
+            ior = runtime.orb(1).poa.activate(AccumulatorImpl())
+            proxy = runtime.ft_proxy(
+                ns.BenchAccumulatorStub,
+                ior,
+                key="acc",
+                type_name="BenchAccumulator",
+                with_store=style == "checkpoint",
+                with_recovery=style == "checkpoint",
+            )
+
+            def client():
+                start = runtime.sim.now
+                for _ in range(calls):
+                    yield proxy.add(1.0, call_work)
+                return runtime.sim.now - start
+
+        else:
+            iors = [
+                runtime.orb(h).poa.activate(AccumulatorImpl()) for h in hosts
+            ]
+            group_cls = (
+                ActiveReplicationGroup if style == "active" else PassiveReplicationGroup
+            )
+            group = group_cls(runtime.orb(0), ns.BenchAccumulatorStub, iors)
+
+            def client():
+                start = runtime.sim.now
+                for _ in range(calls):
+                    yield group.invoke("add", (1.0, call_work))
+                # Active replication: wait for slower replicas to drain so
+                # their CPU use is fully accounted.
+                yield runtime.sim.timeout(call_work * calls)
+                return runtime.sim.now - start
+
+        elapsed = runtime.run(client())
+        rows.append(
+            AblationRow(
+                label=style,
+                runtime=elapsed,
+                extra={
+                    "cpu_work": _total_cpu_work(runtime) - work_before,
+                    "hosts_dedicated": replicas if style in ("active", "passive") else 1,
+                },
+            )
+        )
+    return rows
+
+
+def _total_cpu_work(runtime: Runtime) -> float:
+    return sum(host.cpu.work_completed for host in runtime.cluster)
+
+
+def replicated_store_compare(
+    replica_counts: Sequence[int] = (1, 3),
+    calls: int = 20,
+    call_work: float = 0.02,
+) -> list[AblationRow]:
+    """Cost of removing the checkpoint-store SPOF: write overhead of N
+    store replicas vs. one, plus proof that the FT path survives a store
+    host crash only in the replicated configuration."""
+    from repro.ft.replicated_store import ReplicatedCheckpointStore
+    from repro.services.checkpoint import CheckpointStoreServant, CheckpointStoreStub
+
+    rows = []
+    for replicas in replica_counts:
+        runtime = _runtime(num_hosts=max(6, replicas + 3))
+        store_hosts = list(range(2, 2 + replicas))
+        stubs = []
+        for host in store_hosts:
+            servant = CheckpointStoreServant(processing_work=0.002)
+            ior = runtime.orb(host).poa.activate(servant)
+            stubs.append(runtime.orb(0).stub(ior, CheckpointStoreStub))
+        store = (
+            stubs[0]
+            if replicas == 1
+            else ReplicatedCheckpointStore(runtime.orb(0), stubs)
+        )
+        ior = runtime.orb(1).poa.activate(AccumulatorImpl())
+        proxy = runtime.ft_proxy(
+            ns.BenchAccumulatorStub, ior, key="acc", type_name="BenchAccumulator"
+        )
+        proxy._ft.store = store
+        proxy._ft.recovery.store = store
+
+        def client():
+            start = runtime.sim.now
+            for _ in range(calls // 2):
+                yield proxy.add(1.0, call_work)
+            # Crash one store host mid-stream, then crash the service too.
+            runtime.cluster.host(store_hosts[0]).crash()
+            survived = True
+            try:
+                for _ in range(calls // 2):
+                    yield proxy.add(1.0, call_work)
+                runtime.cluster.host(proxy.ior.host).crash()
+                total = yield proxy.total()
+            except Exception:
+                survived = False
+                total = None
+            return runtime.sim.now - start, survived, total
+
+        elapsed, survived, total = runtime.run(client())
+        rows.append(
+            AblationRow(
+                label=f"{replicas} store replica(s)",
+                runtime=elapsed,
+                extra={
+                    "replicas": replicas,
+                    "survived_store_crash": survived,
+                    "final_total": total,
+                },
+            )
+        )
+    return rows
+
+
+def recovery_bench(
+    failure_counts: Sequence[int] = (0, 1, 2),
+    calls: int = 40,
+    call_work: float = 0.05,
+) -> list[AblationRow]:
+    """Failure injection: runtime, recovery count and state correctness.
+
+    The correct final total is ``calls`` regardless of crashes — checkpoint
+    restore plus call retry must never lose or duplicate an update."""
+    rows = []
+    for failures in failure_counts:
+        runtime = _runtime(num_hosts=7)
+        ior = runtime.orb(1).poa.activate(AccumulatorImpl())
+        proxy = runtime.ft_proxy(
+            ns.BenchAccumulatorStub, ior, key="acc", type_name="BenchAccumulator"
+        )
+        # Crash the service's *current* host at evenly spaced times.  ws00
+        # runs the client and the infrastructure; a real operator's fault
+        # injection would not take down the coordinator, so a service that
+        # recovered onto ws00 is spared.
+        def crash_current():
+            host = proxy.ior.host
+            if host != "ws00":
+                runtime.cluster.host(host).crash()
+
+        span = calls * call_work * 1.6
+        for index in range(failures):
+            at = runtime.sim.now + span * (index + 1) / (failures + 1)
+            runtime.sim.schedule_at(at, crash_current)
+
+        def client():
+            start = runtime.sim.now
+            for _ in range(calls):
+                yield proxy.add(1.0, call_work)
+            final = yield proxy.total()
+            return runtime.sim.now - start, final
+
+        elapsed, final = runtime.run(client())
+        coordinator = runtime.coordinator(0)
+        rows.append(
+            AblationRow(
+                label=f"{failures} failure(s)",
+                runtime=elapsed,
+                extra={
+                    "failures": failures,
+                    "recoveries": coordinator.recoveries,
+                    "recovery_time": coordinator.recovery_time_total,
+                    "final_total": final,
+                    "state_correct": abs(final - calls) < 1e-9,
+                },
+            )
+        )
+    return rows
+
+
+def migration_bench(
+    calls: int = 40, call_work: float = 0.05
+) -> list[AblationRow]:
+    """Completion time of a call stream when heavy competing load arrives
+    on the service's host mid-run, with and without the migration policy."""
+    rows = []
+    for migrate in (False, True):
+        runtime = _runtime(num_hosts=6)
+        ior = runtime.orb(1).poa.activate(AccumulatorImpl())
+        proxy = runtime.ft_proxy(
+            ns.BenchAccumulatorStub, ior, key="acc", type_name="BenchAccumulator"
+        )
+        policy = None
+        if migrate:
+            policy = MigrationPolicy(
+                proxy,
+                runtime.naming_stub(0),
+                runtime.system_manager,
+                interval=1.0,
+                improvement_factor=1.5,
+            ).start()
+        # Competing load arrives a quarter of the way in.
+        runtime.sim.schedule(
+            calls * call_work * 0.25,
+            lambda: BackgroundLoad(
+                runtime.cluster.host(proxy.ior.host), intensity=3, chunk=0.25
+            ).start(),
+        )
+
+        def client():
+            start = runtime.sim.now
+            for _ in range(calls):
+                yield proxy.add(1.0, call_work)
+            return runtime.sim.now - start
+
+        elapsed = runtime.run(client())
+        if policy is not None:
+            policy.stop()
+        rows.append(
+            AblationRow(
+                label="migration on" if migrate else "migration off",
+                runtime=elapsed,
+                extra={
+                    "migrations": policy.migrations if policy else 0,
+                    "final_host": proxy.ior.host,
+                },
+            )
+        )
+    return rows

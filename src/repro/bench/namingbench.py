@@ -1,0 +1,220 @@
+"""Drivers for the naming ablation (DESIGN.md: abl-naming).
+
+§2 weighs three designs: the (chosen) naming-service integration, an
+explicit trader service (centralized/decentralized), and ORB-level hooks.
+These drivers quantify the first two on the Fig. 3 workload: placement
+quality is essentially equal — the difference is purely that trader
+clients must call a non-standard interface, which the bench demonstrates
+by construction (the trader client below *is* different code).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core import Runtime, RuntimeConfig, Scenario
+from repro.opt import (
+    DecomposedRosenbrock,
+    DistributedRosenbrockOptimizer,
+    RosenbrockWorkerServant,
+    RosenbrockWorkerStub,
+    WorkerSettings,
+)
+from repro.services.trader import TraderServant, TraderStub, select_least_loaded
+
+BENCH_SETTINGS = WorkerSettings(work_per_eval_per_dim=2e-7, real_iteration_cap=96)
+
+
+@dataclass(frozen=True)
+class NamingRow:
+    mechanism: str
+    background_hosts: int
+    runtime: float
+    placements: tuple[str, ...]
+
+
+def naming_strategy_sweep(
+    strategies: Sequence[str] = ("first-bound", "round-robin", "random", "winner"),
+    background_hosts: Sequence[int] = (0, 2, 4),
+    seed: int = 7,
+    settings: Optional[WorkerSettings] = None,
+) -> list[NamingRow]:
+    """All four selection strategies on the 30/3 workload."""
+    settings = settings or BENCH_SETTINGS
+    rows = []
+    for strategy in strategies:
+        for bg in background_hosts:
+            result = Scenario(
+                dimension=30,
+                num_workers=3,
+                pool_size=6,
+                background_hosts=bg,
+                naming_strategy=strategy,
+                worker_iterations=50_000,
+                manager_iterations=10,
+                worker_settings=settings,
+                seed=seed,
+            ).run()
+            rows.append(
+                NamingRow(
+                    mechanism=strategy,
+                    background_hosts=bg,
+                    runtime=result.runtime_seconds,
+                    placements=tuple(result.worker_placements),
+                )
+            )
+    return rows
+
+
+def trader_sweep(
+    modes: Sequence[str] = ("trader-centralized", "trader-decentralized"),
+    background_hosts: Sequence[int] = (0, 2, 4),
+    seed: int = 7,
+    settings: Optional[WorkerSettings] = None,
+) -> list[NamingRow]:
+    """The trader baseline on the same workload.
+
+    The client resolves worker references through the trader instead of
+    the naming service — note how this function needs its own client code,
+    which is the transparency cost §2 calls out.
+    """
+    settings = settings or BENCH_SETTINGS
+    rows = []
+    for mode in modes:
+        for bg in background_hosts:
+            rows.append(_run_trader_cell(mode, bg, seed, settings))
+    return rows
+
+
+def forwarding_sweep(
+    background_hosts: Sequence[int] = (0, 2, 4),
+    seed: int = 7,
+    settings: Optional[WorkerSettings] = None,
+) -> list[NamingRow]:
+    """The ORB-locator baseline (§2's other rejected design): a forwarding
+    agent answers the first call on each reference with LOCATION_FORWARD
+    to the Winner-selected replica; the client ORB caches the target.
+
+    Placement quality matches the naming integration; the drawback §2
+    cites is that this "depends on a specific ORB implementation" — here,
+    on our LOCATION_FORWARD handling."""
+    settings = settings or BENCH_SETTINGS
+    rows = []
+    for bg in background_hosts:
+        rows.append(_run_forwarding_cell(bg, seed, settings))
+    return rows
+
+
+def _run_forwarding_cell(
+    background_hosts: int, seed: int, settings: WorkerSettings
+) -> NamingRow:
+    from repro.opt.worker import RosenbrockWorkerSkeleton
+    from repro.orb.forwarding import make_forwarding_servant
+
+    runtime = Runtime(RuntimeConfig(num_hosts=10, seed=seed)).start()
+    problem = DecomposedRosenbrock(30, 3)
+    pool = list(range(1, 7))
+
+    AgentClass = make_forwarding_servant(RosenbrockWorkerSkeleton)
+    agents = []
+    for _ in range(problem.num_workers):
+        agent = AgentClass(runtime.system_manager)
+        for host in pool:
+            servant = RosenbrockWorkerServant(problem, settings)
+            agent.add_replica(runtime.orb(host).poa.activate(servant))
+        agents.append(agent)
+    agent_iors = [runtime.orb(0).poa.activate(agent) for agent in agents]
+
+    runtime.background_load(pool[:background_hosts])
+    runtime.settle(4.0)
+
+    outcome = {}
+
+    def client():
+        references = [
+            runtime.orb(0).stub(ior, RosenbrockWorkerStub) for ior in agent_iors
+        ]
+        optimizer = DistributedRosenbrockOptimizer(
+            runtime.orb(0),
+            problem,
+            references,
+            worker_iterations=50_000,
+            manager_iterations=10,
+            seed=seed,
+        )
+        result = yield from optimizer.optimize()
+        outcome["runtime"] = result.runtime
+        outcome["placements"] = tuple(
+            ref._forward_target.host if ref._forward_target else "?"
+            for ref in references
+        )
+
+    runtime.run(client())
+    return NamingRow(
+        mechanism="orb-locator",
+        background_hosts=background_hosts,
+        runtime=outcome["runtime"],
+        placements=outcome["placements"],
+    )
+
+
+def _run_trader_cell(
+    mode: str, background_hosts: int, seed: int, settings: WorkerSettings
+) -> NamingRow:
+    runtime = Runtime(RuntimeConfig(num_hosts=10, seed=seed)).start()
+    problem = DecomposedRosenbrock(30, 3)
+    runtime.register_type(
+        "RosenbrockWorker", lambda: RosenbrockWorkerServant(problem, settings)
+    )
+    pool = list(range(1, 7))
+
+    trader = TraderServant(runtime.system_manager)
+    trader_ior = runtime.orb(0).poa.activate(trader)
+
+    def deploy():
+        stub = runtime.orb(0).stub(trader_ior, TraderStub)
+        for host in pool:
+            servant = RosenbrockWorkerServant(problem, settings)
+            ior = runtime.orb(host).poa.activate(servant)
+            yield stub.export_offer("rosenbrock-worker", ior)
+
+    runtime.run(deploy())
+    runtime.background_load(pool[:background_hosts])
+    runtime.settle(4.0)
+
+    outcome = {}
+
+    def client():
+        stub = runtime.orb(0).stub(trader_ior, TraderStub)
+        references = []
+        placements = []
+        for _ in range(problem.num_workers):
+            if mode == "trader-centralized":
+                ior = yield stub.lookup_one("rosenbrock-worker")
+            else:
+                offers = yield stub.lookup_all("rosenbrock-worker")
+                ior = select_least_loaded(offers)
+                yield stub.export_offer("rosenbrock-worker", ior)  # no-op keepalive
+                runtime.system_manager.note_placement(ior.host)
+            placements.append(ior.host)
+            references.append(runtime.orb(0).stub(ior, RosenbrockWorkerStub))
+        optimizer = DistributedRosenbrockOptimizer(
+            runtime.orb(0),
+            problem,
+            references,
+            worker_iterations=50_000,
+            manager_iterations=10,
+            seed=seed,
+        )
+        result = yield from optimizer.optimize()
+        outcome["runtime"] = result.runtime
+        outcome["placements"] = tuple(placements)
+
+    runtime.run(client())
+    return NamingRow(
+        mechanism=mode,
+        background_hosts=background_hosts,
+        runtime=outcome["runtime"],
+        placements=outcome["placements"],
+    )

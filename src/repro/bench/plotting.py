@@ -1,0 +1,86 @@
+"""Terminal plots for bench output.
+
+Renders the Fig. 3-style curves as ASCII so `pytest benchmarks/` output
+can be eyeballed against the paper's figure without any plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_plot(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render labelled (x, y) series on a character grid.
+
+    Points are plotted with one marker per series and joined by linear
+    interpolation; a legend follows the axes.
+    """
+    points = [p for curve in series.values() for p in curve]
+    if not points:
+        raise ValueError("nothing to plot")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    # Pad the y range a little so extremes are not on the border.
+    pad = 0.05 * (y_max - y_min)
+    y_min -= pad
+    y_max += pad
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def to_cell(x: float, y: float) -> tuple[int, int]:
+        col = round((x - x_min) / (x_max - x_min) * (width - 1))
+        row = round((y_max - y) / (y_max - y_min) * (height - 1))
+        return row, col
+
+    for index, (label, curve) in enumerate(sorted(series.items())):
+        marker = _MARKERS[index % len(_MARKERS)]
+        ordered = sorted(curve)
+        # Interpolated connecting dots, drawn first so markers win.
+        for (x0, y0), (x1, y1) in zip(ordered, ordered[1:]):
+            steps = max(
+                2, abs(to_cell(x1, y1)[1] - to_cell(x0, y0)[1])
+            )
+            for step in range(steps + 1):
+                t = step / steps
+                row, col = to_cell(x0 + t * (x1 - x0), y0 + t * (y1 - y0))
+                if grid[row][col] == " ":
+                    grid[row][col] = "."
+        for x, y in ordered:
+            row, col = to_cell(x, y)
+            grid[row][col] = marker
+
+    lines = []
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = f"{y_max:8.2f} |"
+        elif row_index == height - 1:
+            prefix = f"{y_min:8.2f} |"
+        else:
+            prefix = "         |"
+        lines.append(prefix + "".join(row))
+    lines.append("         +" + "-" * width)
+    x_axis = f"{x_min:<8.0f}" + " " * max(0, width - 16) + f"{x_max:>8.0f}"
+    lines.append("          " + x_axis)
+    if x_label:
+        lines.append(f"          x: {x_label}")
+    if y_label:
+        lines.insert(0, f"   y: {y_label}")
+    for index, label in enumerate(sorted(series)):
+        marker = _MARKERS[index % len(_MARKERS)]
+        lines.append(f"          {marker} = {label}")
+    return "\n".join(lines)

@@ -1,0 +1,25 @@
+"""The simulated network of workstations (NOW).
+
+The paper's testbed is a network of 10 Unix workstations.  This package
+models it: hosts with processor-sharing CPUs and crash/restart semantics, a
+message network with latency and bandwidth, CPU-bound background-load
+generators (the independent variable of Fig. 3) and failure-injection
+schedules (exercising the fault-tolerance path of §3).
+"""
+
+from repro.cluster.host import Host
+from repro.cluster.network import Datagram, Network
+from repro.cluster.cluster import Cluster, ClusterConfig
+from repro.cluster.loadgen import BackgroundLoad
+from repro.cluster.failures import FailureInjector, FailurePlan
+
+__all__ = [
+    "BackgroundLoad",
+    "Cluster",
+    "ClusterConfig",
+    "Datagram",
+    "FailureInjector",
+    "FailurePlan",
+    "Host",
+    "Network",
+]

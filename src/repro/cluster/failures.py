@@ -1,0 +1,75 @@
+"""Failure injection.
+
+Deterministic crash/restart schedules for the fault-tolerance experiments:
+the recovery bench crashes a worker's host mid-optimization and measures the
+checkpoint/restart path end-to-end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.cluster import Cluster
+
+
+@dataclass(frozen=True)
+class FailurePlan:
+    """One scheduled failure: crash ``host`` at ``crash_at``; optionally
+    restart it ``restart_after`` seconds later."""
+
+    host: str
+    crash_at: float
+    restart_after: Optional[float] = None
+
+    def validate(self) -> None:
+        if self.crash_at < 0:
+            raise ConfigurationError("crash_at must be non-negative")
+        if self.restart_after is not None and self.restart_after <= 0:
+            raise ConfigurationError("restart_after must be positive")
+
+
+class FailureInjector:
+    """Applies :class:`FailurePlan` schedules to a cluster."""
+
+    def __init__(self, cluster: "Cluster") -> None:
+        self.cluster = cluster
+        self.injected: list[FailurePlan] = []
+
+    def schedule(self, plan: FailurePlan) -> None:
+        plan.validate()
+        host = self.cluster.host(plan.host)  # validates host name
+        sim = self.cluster.sim
+        sim.schedule_at(plan.crash_at, host.crash)
+        if plan.restart_after is not None:
+            sim.schedule_at(plan.crash_at + plan.restart_after, host.restart)
+        self.injected.append(plan)
+
+    def schedule_all(self, plans: Sequence[FailurePlan]) -> None:
+        for plan in plans:
+            self.schedule(plan)
+
+    def random_plans(
+        self,
+        count: int,
+        horizon: float,
+        restart_after: Optional[float] = None,
+        stream: str = "failures",
+    ) -> list[FailurePlan]:
+        """Draw ``count`` crash times uniformly over ``(0, horizon)`` on
+        distinct random hosts, reproducibly from the simulator's seed."""
+        hosts = self.cluster.host_names()
+        if count > len(hosts):
+            raise ConfigurationError(
+                f"cannot crash {count} distinct hosts of {len(hosts)}"
+            )
+        rng = self.cluster.sim.rng(stream)
+        chosen = rng.choice(len(hosts), size=count, replace=False)
+        times = sorted(rng.uniform(0.0, horizon, size=count))
+        return [
+            FailurePlan(hosts[int(h)], float(t), restart_after)
+            for h, t in zip(chosen, times)
+        ]

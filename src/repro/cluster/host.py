@@ -1,0 +1,117 @@
+"""A simulated workstation.
+
+A host owns a processor-sharing CPU and a set of host-bound simulation
+processes.  Crashing a host aborts all in-flight CPU work, kills every
+registered process (their ``finally`` blocks run) and notifies crash
+listeners (the network drops the host's connections; the ORB's transports
+turn this into ``COMM_FAILURE`` at the peers).  A host can later restart
+empty — server objects do not survive; the paper's checkpoint/restart layer
+is what brings services back.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional, TYPE_CHECKING
+
+from repro.errors import HostDownError
+from repro.sim import ProcessorSharingCPU, SimFuture
+from repro.sim.process import Process
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+
+class Host:
+    """One workstation in the NOW.
+
+    :param speed: relative CPU performance (Winner's static benchmark
+        rating); work units per second per core.
+    :param cores: number of CPU cores (Winner schedules on mixed
+        uniprocessor/multiprocessor workstations).
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        host_id: int,
+        name: str,
+        speed: float = 1.0,
+        cores: int = 1,
+    ) -> None:
+        self.sim = sim
+        self.host_id = host_id
+        self.name = name
+        self.speed = speed
+        self.cores = cores
+        self.cpu = ProcessorSharingCPU(sim, speed=speed, cores=cores)
+        self._up = True
+        self._processes: list[Process] = []
+        self._crash_listeners: list[Callable[["Host"], None]] = []
+        self._restart_listeners: list[Callable[["Host"], None]] = []
+        #: number of times this host has crashed (incarnation counter); lets
+        #: stale messages addressed to a previous incarnation be discarded.
+        self.incarnation = 0
+        self.crash_count = 0
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def up(self) -> bool:
+        return self._up
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self._up else "DOWN"
+        return f"<Host {self.name} ({state}) speed={self.speed} cores={self.cores}>"
+
+    # -- processes -------------------------------------------------------------
+
+    def spawn(self, generator: Generator, name: str = "") -> Process:
+        """Start a process bound to this host; it dies if the host crashes."""
+        if not self._up:
+            raise HostDownError(f"cannot spawn on crashed host {self.name}")
+        process = self.sim.spawn(generator, name=f"{self.name}/{name or 'proc'}")
+        self._processes.append(process)
+        # Opportunistic cleanup of finished processes to bound memory.
+        if len(self._processes) > 64:
+            self._processes = [p for p in self._processes if p.is_pending]
+        return process
+
+    def execute(self, work: float) -> SimFuture:
+        """Submit CPU work; fails immediately if the host is down."""
+        if not self._up:
+            future = SimFuture(self.sim, label=f"cpu@{self.name}")
+            future.fail(HostDownError(f"host {self.name} is down"))
+            return future
+        return self.cpu.execute(work)
+
+    # -- crash / restart ---------------------------------------------------------
+
+    def on_crash(self, listener: Callable[["Host"], None]) -> None:
+        self._crash_listeners.append(listener)
+
+    def on_restart(self, listener: Callable[["Host"], None]) -> None:
+        self._restart_listeners.append(listener)
+
+    def crash(self) -> None:
+        """Fail-stop crash: abort CPU work, kill processes, notify listeners."""
+        if not self._up:
+            return
+        self._up = False
+        self.crash_count += 1
+        self.sim.trace.emit("host", f"{self.name} crashed")
+        self.cpu.abort_all(HostDownError(f"host {self.name} crashed"))
+        processes, self._processes = self._processes, []
+        for process in processes:
+            process.kill()
+        for listener in list(self._crash_listeners):
+            listener(self)
+
+    def restart(self) -> None:
+        """Bring the host back up, empty (no servants, no processes)."""
+        if self._up:
+            return
+        self._up = True
+        self.incarnation += 1
+        self.sim.trace.emit("host", f"{self.name} restarted")
+        for listener in list(self._restart_listeners):
+            listener(self)

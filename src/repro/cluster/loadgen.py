@@ -1,0 +1,68 @@
+"""Background-load generators.
+
+Fig. 3's independent variable is "number of hosts with background load": a
+CPU-bound process competing with the application workers.  Under processor
+sharing, one background process on a host halves a co-located worker's rate;
+``intensity=2`` models two competing processes (worker gets a third), etc.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.errors import ProcessKilled
+from repro.sim.process import Process
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.host import Host
+
+
+class BackgroundLoad:
+    """A persistent CPU-bound background workload on one host.
+
+    :param intensity: number of concurrent CPU-bound processes.
+    :param chunk: work units consumed per scheduling quantum; small enough
+        that load starts/stops take effect promptly, large enough to keep
+        the event count low.
+    """
+
+    def __init__(self, host: "Host", intensity: int = 1, chunk: float = 1.0) -> None:
+        self.host = host
+        self.intensity = intensity
+        self.chunk = chunk
+        self._processes: list[Process] = []
+        self._running = False
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def start(self) -> "BackgroundLoad":
+        """Begin generating load; idempotent."""
+        if self._running:
+            return self
+        self._running = True
+        self.host.sim.trace.emit(
+            "load", f"background load on {self.host.name}", intensity=self.intensity
+        )
+        for i in range(self.intensity):
+            process = self.host.spawn(self._burn(), name=f"bgload{i}")
+            self._processes.append(process)
+        return self
+
+    def stop(self) -> None:
+        """Stop generating load; idempotent."""
+        if not self._running:
+            return
+        self._running = False
+        processes, self._processes = self._processes, []
+        for process in processes:
+            process.kill()
+        self.host.sim.trace.emit("load", f"background load off {self.host.name}")
+
+    def _burn(self):
+        try:
+            while self._running and self.host.up:
+                yield self.host.execute(self.chunk)
+        except ProcessKilled:
+            raise

@@ -1,0 +1,17 @@
+"""High-level runtime facade.
+
+:class:`~repro.core.runtime.Runtime` assembles the full system of the
+paper on one simulated NOW: cluster + network, one ORB per workstation,
+the Winner managers, the load-distributing naming service, the checkpoint
+store and per-host object factories — then exposes the deployment and
+fault-tolerance API a downstream application uses.
+
+:class:`~repro.core.scenario.Scenario` drives the paper's experiments on
+top of it (Fig. 3, Table 1 and the ablations).
+"""
+
+from repro.core.config import RuntimeConfig
+from repro.core.runtime import Runtime
+from repro.core.scenario import Scenario, ScenarioResult
+
+__all__ = ["Runtime", "RuntimeConfig", "Scenario", "ScenarioResult"]

@@ -1,0 +1,69 @@
+"""Runtime configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.orb.core import OrbConfig
+
+#: selection strategies for the naming service, by name.
+STRATEGY_NAMES = ("winner", "round-robin", "random", "first-bound")
+
+
+@dataclass
+class RuntimeConfig:
+    """Declarative description of one complete deployment.
+
+    Defaults model the paper's testbed: 10 homogeneous workstations on a
+    LAN, Winner sampling once a second, the load-distributing naming
+    service using the Winner strategy, the (deliberately inefficient)
+    in-memory checkpoint store.
+    """
+
+    # cluster ----------------------------------------------------------------
+    num_hosts: int = 10
+    speeds: float | Sequence[float] = 1.0
+    cores: int | Sequence[int] = 1
+    latency: float = 0.5e-3
+    bandwidth: float = 10e6
+    seed: int = 0
+
+    # winner -----------------------------------------------------------------
+    winner_interval: float = 1.0
+    #: host index running the system manager (and naming + store).
+    service_host: int = 0
+
+    # naming -----------------------------------------------------------------
+    naming_strategy: str = "winner"
+
+    # fault tolerance ----------------------------------------------------------
+    checkpoint_backend: str = "memory"  # or "disk"
+    checkpoint_processing_work: float = 0.015
+    factory_group: str = "factories.service"
+    start_factories: bool = True
+    #: automatically re-join restarted hosts (fresh ORB, node manager,
+    #: factory) after this delay; None disables.
+    auto_heal_delay: Optional[float] = 1.0
+
+    # orb ---------------------------------------------------------------------
+    orb: OrbConfig = field(default_factory=OrbConfig)
+
+    def validate(self) -> None:
+        if self.naming_strategy not in STRATEGY_NAMES:
+            raise ConfigurationError(
+                f"naming_strategy must be one of {STRATEGY_NAMES}, "
+                f"got {self.naming_strategy!r}"
+            )
+        if self.checkpoint_backend not in ("memory", "disk"):
+            raise ConfigurationError(
+                f"checkpoint_backend must be 'memory' or 'disk', "
+                f"got {self.checkpoint_backend!r}"
+            )
+        if not 0 <= self.service_host < self.num_hosts:
+            raise ConfigurationError(
+                f"service_host {self.service_host} outside 0..{self.num_hosts - 1}"
+            )
+        if self.winner_interval <= 0:
+            raise ConfigurationError("winner_interval must be positive")

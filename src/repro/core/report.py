@@ -1,0 +1,135 @@
+"""Deployment reports: what happened on the simulated NOW.
+
+Aggregates per-host CPU accounting, network counters, per-operation ORB
+statistics and fault-tolerance activity into one structure — the
+"experiment debrief" every bench and example can print.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.bench.reporting import format_table
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.runtime import Runtime
+
+
+def runtime_report(runtime: "Runtime") -> dict:
+    """Collect a structured snapshot of a runtime's activity."""
+    sim = runtime.sim
+    hosts = []
+    for host in runtime.cluster:
+        busy = host.cpu.utilization_integral()
+        hosts.append(
+            {
+                "host": host.name,
+                "up": host.up,
+                "speed": host.speed,
+                "cores": host.cores,
+                "cpu_busy_seconds": busy,
+                "utilization": busy / sim.now / host.cores if sim.now > 0 else 0.0,
+                "work_completed": host.cpu.work_completed,
+                "crashes": host.crash_count,
+            }
+        )
+    network = runtime.network
+    operations: dict[str, dict] = {}
+    for orb in runtime._orbs.values():
+        for name, stats in orb.call_stats.items():
+            entry = operations.setdefault(
+                name,
+                {"calls": 0, "failures": 0, "total_latency": 0.0, "max_latency": 0.0},
+            )
+            entry["calls"] += stats.calls
+            entry["failures"] += stats.failures
+            entry["total_latency"] += stats.total_latency
+            entry["max_latency"] = max(entry["max_latency"], stats.max_latency)
+    for entry in operations.values():
+        entry["mean_latency"] = (
+            entry["total_latency"] / entry["calls"] if entry["calls"] else 0.0
+        )
+
+    ft = {
+        "checkpoints_stored": (
+            runtime.store_servant.stores if runtime.store_servant else 0
+        ),
+        "checkpoint_bytes": (
+            runtime.store_servant.backend.bytes_written
+            if runtime.store_servant
+            else 0
+        ),
+        "recoveries": sum(c.recoveries for c in runtime._coordinators.values()),
+        "failed_recoveries": sum(
+            c.failed_recoveries for c in runtime._coordinators.values()
+        ),
+        "recovery_time_total": sum(
+            c.recovery_time_total for c in runtime._coordinators.values()
+        ),
+    }
+    return {
+        "simulated_time": sim.now,
+        "hosts": hosts,
+        "network": {
+            "messages_sent": network.messages_sent,
+            "messages_delivered": network.messages_delivered,
+            "messages_dropped": network.messages_dropped,
+            "bytes_sent": network.bytes_sent,
+        },
+        "operations": operations,
+        "fault_tolerance": ft,
+    }
+
+
+def format_runtime_report(report: dict) -> str:
+    """Human-readable rendering of :func:`runtime_report`."""
+    sections = []
+    sections.append(
+        format_table(
+            ["host", "up", "speed", "cores", "busy [s]", "util", "crashes"],
+            [
+                [
+                    row["host"],
+                    "yes" if row["up"] else "DOWN",
+                    row["speed"],
+                    row["cores"],
+                    f"{row['cpu_busy_seconds']:.2f}",
+                    f"{row['utilization']:.2%}",
+                    row["crashes"],
+                ]
+                for row in report["hosts"]
+            ],
+            title=f"Hosts after {report['simulated_time']:.2f} simulated seconds",
+        )
+    )
+    net = report["network"]
+    sections.append(
+        f"Network: {net['messages_sent']} sent, {net['messages_delivered']} "
+        f"delivered, {net['messages_dropped']} dropped, "
+        f"{net['bytes_sent']} bytes"
+    )
+    if report["operations"]:
+        sections.append(
+            format_table(
+                ["operation", "calls", "failures", "mean latency [s]", "max [s]"],
+                [
+                    [
+                        name,
+                        stats["calls"],
+                        stats["failures"],
+                        f"{stats['mean_latency']:.4f}",
+                        f"{stats['max_latency']:.4f}",
+                    ]
+                    for name, stats in sorted(report["operations"].items())
+                ],
+                title="ORB operations (all client ORBs)",
+            )
+        )
+    ft = report["fault_tolerance"]
+    sections.append(
+        f"Fault tolerance: {ft['checkpoints_stored']} checkpoints "
+        f"({ft['checkpoint_bytes']} bytes), {ft['recoveries']} recoveries "
+        f"({ft['recovery_time_total']:.3f}s), "
+        f"{ft['failed_recoveries']} failed"
+    )
+    return "\n\n".join(sections)

@@ -1,0 +1,79 @@
+"""A locate-ping failure detector.
+
+The paper's error detection is reactive ("the only way to detect an error
+on the client side is the exception CORBA::COMM_FAILURE").  A proactive
+detector built from GIOP LocateRequest pings is the natural extension and
+is what the migration policy uses to avoid moving services to dying hosts;
+the recovery bench also uses it to measure detection latency.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, TYPE_CHECKING
+
+from repro.errors import ProcessKilled
+from repro.orb.ior import IOR
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.orb.core import Orb
+    from repro.sim.process import Process
+
+
+class FailureDetector:
+    """Periodically pings watched objects; reports suspects once."""
+
+    def __init__(
+        self,
+        orb: "Orb",
+        interval: float = 1.0,
+        suspect_after: int = 2,
+    ) -> None:
+        self.orb = orb
+        self.interval = interval
+        #: consecutive failed pings before a target is suspected.
+        self.suspect_after = suspect_after
+        self._targets: dict[str, tuple[IOR, Callable[[str, IOR], None]]] = {}
+        self._misses: dict[str, int] = {}
+        self._process: Optional["Process"] = None
+        self.pings = 0
+        self.suspected: list[str] = []
+
+    def watch(
+        self, key: str, ior: IOR, on_suspect: Callable[[str, IOR], None]
+    ) -> None:
+        self._targets[key] = (ior, on_suspect)
+        self._misses[key] = 0
+        if self._process is None or self._process.is_done:
+            self._process = self.orb.host.spawn(self._run(), name="ft-detector")
+
+    def unwatch(self, key: str) -> None:
+        self._targets.pop(key, None)
+        self._misses.pop(key, None)
+
+    def stop(self) -> None:
+        if self._process is not None:
+            self._process.kill()
+            self._process = None
+
+    def _run(self):
+        sim = self.orb.sim
+        try:
+            while self._targets:
+                yield sim.timeout(self.interval)
+                for key in list(self._targets):
+                    entry = self._targets.get(key)
+                    if entry is None:
+                        continue
+                    ior, on_suspect = entry
+                    self.pings += 1
+                    alive = yield self.orb.locate(ior)
+                    if alive:
+                        self._misses[key] = 0
+                        continue
+                    self._misses[key] = self._misses.get(key, 0) + 1
+                    if self._misses[key] >= self.suspect_after:
+                        self.suspected.append(key)
+                        self.unwatch(key)
+                        on_suspect(key, ior)
+        except ProcessKilled:
+            raise

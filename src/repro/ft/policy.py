@@ -1,0 +1,43 @@
+"""Fault-tolerance policy knobs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class FtPolicy:
+    """Tunables of the proxy-based checkpoint/restart mechanism.
+
+    The paper's configuration is the default: a checkpoint after *every*
+    successful method call.  ``checkpoint_interval > 1`` (checkpoint every
+    k-th call) is the obvious optimization the ablation bench explores.
+    """
+
+    #: checkpoint after every k-th successful call (1 = paper's behaviour).
+    checkpoint_interval: int = 1
+    #: how many times a single call may trigger recovery before giving up.
+    max_call_retries: int = 3
+    #: attempts to find a working factory host during one recovery.
+    max_recover_attempts: int = 6
+    #: pause between recovery attempts (lets Winner age out the dead host).
+    retry_backoff: float = 0.5
+    #: "raise" propagates a failed checkpoint to the caller; "ignore"
+    #: logs and continues (the call already succeeded).
+    on_checkpoint_failure: str = "raise"
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_interval < 1:
+            raise ConfigurationError("checkpoint_interval must be >= 1")
+        if self.max_call_retries < 0:
+            raise ConfigurationError("max_call_retries must be >= 0")
+        if self.max_recover_attempts < 1:
+            raise ConfigurationError("max_recover_attempts must be >= 1")
+        if self.retry_backoff < 0:
+            raise ConfigurationError("retry_backoff must be >= 0")
+        if self.on_checkpoint_failure not in ("raise", "ignore"):
+            raise ConfigurationError(
+                "on_checkpoint_failure must be 'raise' or 'ignore'"
+            )

@@ -1,0 +1,182 @@
+"""The recovery coordinator: restart a failed service from its checkpoint.
+
+"Using the concepts for the naming service already described, it is
+possible to request a new reference to a service if a call to a server
+object fails. ... it is inevitable to (a) save the state (checkpoint) of
+the server object ... and (b) have the opportunity to restore this state
+in a newly created server object." (§3)
+
+The recovery path, end to end:
+
+1. resolve the **factory service group** through the load-distributing
+   naming service — Winner picks the best surviving host;
+2. ask that host's factory to ``create`` a fresh servant of the service's
+   type (retrying elsewhere if the chosen factory is itself dead);
+3. load the latest checkpoint from the checkpoint store and
+   ``restore_from`` it on the new object;
+4. rebind the caller's proxy to the new reference and (optionally) swap
+   the dead replica for the new one in the service's own naming group.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.errors import (
+    COMM_FAILURE,
+    OBJECT_NOT_EXIST,
+    RecoveryError,
+    SystemException,
+    TRANSIENT,
+)
+from repro.ft.factory import ObjectFactoryStub, UnknownType
+from repro.ft.policy import FtPolicy
+from repro.orb.stubs import ObjectStub
+from repro.services.checkpoint import NoCheckpoint
+from repro.services.naming import idl as naming_idl
+from repro.services.naming.names import to_name
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.orb.core import Orb
+
+#: exceptions that mean "the target is gone; recovery may help".
+RECOVERABLE = (COMM_FAILURE, OBJECT_NOT_EXIST, TRANSIENT)
+
+
+class RecoveryCoordinator:
+    """Client-side orchestration of checkpoint/restart recovery."""
+
+    def __init__(
+        self,
+        orb: "Orb",
+        naming,  # LoadDistributingNamingContextStub
+        store,  # CheckpointStoreStub
+        factory_group: str = "factories.service",
+        policy: Optional[FtPolicy] = None,
+    ) -> None:
+        self.orb = orb
+        self.naming = naming
+        self.store = store
+        self.factory_group = to_name(factory_group)
+        self.policy = policy or FtPolicy()
+        #: in-flight recoveries by service key (single-flight coalescing:
+        #: concurrent failed calls to the same service trigger ONE restart,
+        #: not one per call).
+        self._inflight: dict[str, object] = {}
+        #: counters for the recovery bench
+        self.recoveries = 0
+        self.failed_recoveries = 0
+        self.recovery_time_total = 0.0
+        self.coalesced = 0
+
+    # -- main entry point -----------------------------------------------------
+
+    def recover(self, proxy):
+        """Generator: restart ``proxy``'s service; rebinds the proxy.
+
+        Concurrent recoveries of the same service key are coalesced: the
+        first caller performs the restart, the rest wait for its outcome
+        and simply rebind.  Raises :class:`RecoveryError` when no factory
+        host works or the service has no registered type to restart.
+        """
+        sim = self.orb.sim
+        context = proxy._ft
+        inflight = self._inflight.get(context.key)
+        if inflight is not None:
+            self.coalesced += 1
+            new_ior = yield inflight  # raises if the restart fails
+            proxy._rebind(new_ior)
+            return new_ior
+        future = sim.future(label=f"recovery:{context.key}")
+        self._inflight[context.key] = future
+        try:
+            new_ior = yield from self._recover_now(proxy)
+        except BaseException as exc:
+            future.try_fail(exc)
+            raise
+        finally:
+            self._inflight.pop(context.key, None)
+        future.try_succeed(new_ior)
+        return new_ior
+
+    def _recover_now(self, proxy):
+        sim = self.orb.sim
+        started = sim.now
+        context = proxy._ft
+        dead_ior = proxy.ior
+        sim.trace.emit(
+            "ft",
+            f"recovering {context.key}",
+            dead_host=dead_ior.host,
+        )
+        last_error: Optional[BaseException] = None
+        for attempt in range(self.policy.max_recover_attempts):
+            if attempt:
+                yield sim.timeout(self.policy.retry_backoff)
+            try:
+                factory_ior = yield self.naming.resolve(self.factory_group)
+            except naming_idl.NotFound as exc:
+                raise RecoveryError(
+                    f"factory group {self.factory_group!r} is not bound"
+                ) from exc
+            factory = self.orb.stub(factory_ior, ObjectFactoryStub)
+            try:
+                new_ior = yield factory.create(context.type_name)
+            except UnknownType as exc:
+                raise RecoveryError(
+                    f"no factory knows type {context.type_name!r}"
+                ) from exc
+            except RECOVERABLE as exc:
+                # That factory host is dead too: drop it from the group so
+                # the naming service stops offering it, then try again.
+                last_error = exc
+                yield from self._drop_replica(self.factory_group, factory_ior)
+                continue
+
+            try:
+                yield from self._restore(context.key, new_ior)
+            except RECOVERABLE as exc:
+                last_error = exc
+                continue  # new host died during restore; start over
+
+            yield from self._swap_group_binding(context, dead_ior, new_ior)
+            proxy._rebind(new_ior)
+            self.recoveries += 1
+            self.recovery_time_total += sim.now - started
+            sim.trace.emit(
+                "ft", f"recovered {context.key}", new_host=new_ior.host
+            )
+            return new_ior
+        self.failed_recoveries += 1
+        raise RecoveryError(
+            f"recovery of {context.key} failed after "
+            f"{self.policy.max_recover_attempts} attempts"
+        ) from last_error
+
+    # -- steps -------------------------------------------------------------------
+
+    def _restore(self, key: str, new_ior):
+        try:
+            state = yield self.store.load(key)
+        except NoCheckpoint:
+            return  # stateless service (or nothing checkpointed yet)
+        from repro.ft.checkpointable import CheckpointableStub
+
+        restore_info = CheckpointableStub.__operations__["restore_from"]
+        yield self.orb.invoke(new_ior, restore_info, (state,))
+
+    def _drop_replica(self, group_name, dead_ior):
+        try:
+            yield self.naming.unbind_service(group_name, dead_ior)
+        except (naming_idl.NotFound, SystemException):
+            pass  # someone else already removed it
+
+    def _swap_group_binding(self, context, dead_ior, new_ior):
+        if context.group_name is None:
+            return
+        group = to_name(context.group_name)
+        yield from self._drop_replica(group, dead_ior)
+        try:
+            yield self.naming.bind_service(group, new_ior)
+        except naming_idl.AlreadyBound:
+            pass

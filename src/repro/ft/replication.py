@@ -1,0 +1,146 @@
+"""Replication baselines: the designs the paper argues *against*.
+
+"Especially for applications with a maximum degree of parallelism ... it
+is not desirable to use a large amount of the computational resources
+(i.e. hosts in the network) exclusively for availability purposes as in
+the case of active replication." (§3)
+
+To make that argument measurable, both group styles are implemented:
+
+* :class:`ActiveReplicationGroup` — every call goes to all replicas, the
+  first successful reply wins (Piranha-style active replication).  Burns
+  ~r× CPU for the same answer.
+* :class:`PassiveReplicationGroup` — calls go to the primary; after each
+  call the primary's state is transferred to every backup; on primary
+  failure a backup is promoted (IGOR-style warm passive replication).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, TYPE_CHECKING
+
+from repro.errors import COMM_FAILURE, RecoveryError, SystemException
+from repro.orb.stubs import ObjectStub
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.orb.core import Orb
+    from repro.orb.ior import IOR
+    from repro.sim.events import SimFuture
+
+
+class _GroupBase:
+    def __init__(self, orb: "Orb", stub_class: type, replicas: Sequence["IOR"]) -> None:
+        if not replicas:
+            raise RecoveryError("replication group needs at least one replica")
+        self._orb = orb
+        self._stub_class = stub_class
+        self._stubs = [orb.stub(ior, stub_class) for ior in replicas]
+        self.calls = 0
+
+    @property
+    def replica_count(self) -> int:
+        return len(self._stubs)
+
+    @property
+    def replica_hosts(self) -> list[str]:
+        return [stub.ior.host for stub in self._stubs]
+
+
+class ActiveReplicationGroup(_GroupBase):
+    """Invoke on every replica; first successful reply wins.
+
+    Masks up to r-1 failures with zero recovery latency — at the price of
+    executing every call r times.
+    """
+
+    def invoke(self, operation: str, args: tuple = ()) -> "SimFuture":
+        outer = self._orb.sim.future(label=f"active:{operation}")
+        process = self._orb.host.spawn(
+            self._invoke_proc(operation, args, outer), name=f"active:{operation}"
+        )
+        process.add_done_callback(
+            lambda p: outer.try_fail(p.exception) if p.failed else None
+        )
+        return outer
+
+    def _invoke_proc(self, operation: str, args: tuple, outer):
+        self.calls += 1
+        sim = self._orb.sim
+        futures = [
+            ObjectStub._invoke(stub, operation, args) for stub in self._stubs
+        ]
+        try:
+            # any_of succeeds with the first reply and fails only once
+            # every replica has failed.
+            _index, value = yield sim.any_of(futures)
+        except SystemException as exc:
+            outer.try_fail(exc)
+            return
+        outer.try_succeed(value)
+
+
+class PassiveReplicationGroup(_GroupBase):
+    """Primary + warm backups with per-call state transfer.
+
+    After each successful call the primary's checkpoint is pushed to every
+    backup (``restore_from``), so any backup can take over at the last
+    completed call.  On primary failure the first reachable backup is
+    promoted.
+    """
+
+    def __init__(self, orb, stub_class, replicas) -> None:
+        super().__init__(orb, stub_class, replicas)
+        self.primary_index = 0
+        self.promotions = 0
+        self.state_transfers = 0
+
+    @property
+    def primary_host(self) -> str:
+        return self._stubs[self.primary_index].ior.host
+
+    def invoke(self, operation: str, args: tuple = ()) -> "SimFuture":
+        outer = self._orb.sim.future(label=f"passive:{operation}")
+        process = self._orb.host.spawn(
+            self._invoke_proc(operation, args, outer), name=f"passive:{operation}"
+        )
+        process.add_done_callback(
+            lambda p: outer.try_fail(p.exception) if p.failed else None
+        )
+        return outer
+
+    def _invoke_proc(self, operation: str, args: tuple, outer):
+        self.calls += 1
+        attempts = 0
+        while attempts < len(self._stubs):
+            primary = self._stubs[self.primary_index]
+            try:
+                result = yield ObjectStub._invoke(primary, operation, args)
+            except (COMM_FAILURE, SystemException):
+                attempts += 1
+                self._promote()
+                continue
+            yield from self._sync_backups(primary)
+            outer.try_succeed(result)
+            return
+        outer.try_fail(RecoveryError("all replicas of the group failed"))
+
+    def _promote(self) -> None:
+        self.primary_index = (self.primary_index + 1) % len(self._stubs)
+        self.promotions += 1
+        self._orb.sim.trace.emit(
+            "ft", "passive group promoted", primary=self.primary_host
+        )
+
+    def _sync_backups(self, primary):
+        try:
+            state = yield ObjectStub._invoke(primary, "get_checkpoint", ())
+        except SystemException:
+            return  # primary died right after replying; next call promotes
+        for index, stub in enumerate(self._stubs):
+            if index == self.primary_index:
+                continue
+            try:
+                yield ObjectStub._invoke(stub, "restore_from", (state,))
+                self.state_transfers += 1
+            except SystemException:
+                continue  # dead backup reduces redundancy, not correctness

@@ -1,0 +1,159 @@
+"""Request proxies: fault tolerance for DII invocations.
+
+"To enable fault tolerance in this case, request proxies are used just
+like the object proxies." (§3, Fig. 2)
+
+An :class:`FtRequest` mirrors the :class:`~repro.orb.dii.Request` API
+(``send_deferred`` / ``poll_response`` / ``get_response`` /
+``return_value``) but supervises the underlying request: on a recoverable
+failure it runs the proxy's recovery coordinator and re-issues a fresh
+Request at the recovered target; after success it checkpoints like the
+object proxy would.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, TYPE_CHECKING
+
+from repro.errors import BAD_OPERATION, RecoveryError
+from repro.ft.recovery import RECOVERABLE
+from repro.orb.dii import Request
+from repro.orb.stubs import ObjectStub
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ft.proxies import _FtProxyBase
+    from repro.sim.events import SimFuture
+
+
+class FtRequest:
+    """A fault-tolerant DII request bound to an FT proxy."""
+
+    def __init__(self, proxy, operation: str, args: tuple = ()) -> None:
+        from repro.ft.proxies import _FtProxyBase
+
+        if not isinstance(proxy, _FtProxyBase):
+            raise BAD_OPERATION(
+                "FtRequest requires a fault-tolerance proxy (make_ft_proxy)"
+            )
+        self._proxy = proxy
+        self._info = proxy._op_info(operation)
+        self._args = tuple(args)
+        self._outer: Optional["SimFuture"] = None
+        #: number of underlying Requests issued (1 = no recovery needed).
+        self.attempts = 0
+
+    # -- Request-compatible API --------------------------------------------------
+
+    @property
+    def operation(self) -> str:
+        return self._info.name
+
+    @property
+    def sent(self) -> bool:
+        return self._outer is not None
+
+    def send_deferred(self) -> "FtRequest":
+        if self._outer is not None:
+            raise BAD_OPERATION(f"request {self.operation!r} was already sent")
+        orb = self._proxy._orb
+        self._outer = orb.sim.future(label=f"ft-req:{self.operation}")
+        process = orb.host.spawn(self._supervise(), name=f"ft-req:{self.operation}")
+        process.add_done_callback(
+            lambda p: self._outer.try_fail(p.exception) if p.failed else None
+        )
+        return self
+
+    def invoke(self) -> "SimFuture":
+        """Synchronous flavour: send and return the response future."""
+        return self.send_deferred().get_response()
+
+    def poll_response(self) -> bool:
+        self._ensure_sent()
+        assert self._outer is not None
+        return self._outer.is_done
+
+    def get_response(self) -> "SimFuture":
+        self._ensure_sent()
+        assert self._outer is not None
+        return self._outer
+
+    def return_value(self) -> Any:
+        self._ensure_sent()
+        assert self._outer is not None
+        return self._outer.value
+
+    # -- supervision -----------------------------------------------------------------
+
+    def _supervise(self):
+        proxy = self._proxy
+        yield proxy._ft_lock.acquire()
+        try:
+            yield from self._supervise_locked()
+        finally:
+            proxy._ft_lock.release()
+
+    def _supervise_locked(self):
+        proxy = self._proxy
+        ft = proxy._ft
+        policy = ft.policy
+        orb = proxy._orb
+        failures = 0
+        while True:
+            request = Request(
+                orb, proxy.ior, self._info, self._args, reference=proxy
+            )
+            self.attempts += 1
+            try:
+                result = yield request.send_deferred().get_response()
+                break
+            except RECOVERABLE as exc:
+                failures += 1
+                ft.retries += 1
+                if ft.recovery is None:
+                    self._outer.try_fail(exc)
+                    return
+                if failures > policy.max_call_retries:
+                    self._outer.try_fail(
+                        RecoveryError(
+                            f"{self.operation} still failing after "
+                            f"{failures - 1} recoveries"
+                        )
+                    )
+                    return
+                try:
+                    yield from ft.recovery.recover(proxy)
+                except RecoveryError as recovery_error:
+                    self._outer.try_fail(recovery_error)
+                    return
+        ft.calls += 1
+        ft._calls_since_checkpoint += 1
+        if (
+            ft.store is not None
+            and ft._calls_since_checkpoint >= policy.checkpoint_interval
+        ):
+            try:
+                yield from proxy._take_checkpoint()
+            except Exception as exc:  # noqa: BLE001 - policy decides
+                if policy.on_checkpoint_failure == "raise":
+                    self._outer.try_fail(exc)
+                    return
+                orb.sim.trace.emit(
+                    "ft",
+                    f"checkpoint of {ft.key} failed (ignored)",
+                    error=type(exc).__name__,
+                )
+        self._outer.try_succeed(result)
+
+    def _ensure_sent(self) -> None:
+        if self._outer is None:
+            raise BAD_OPERATION(
+                f"request {self.operation!r} has not been sent yet"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "unsent"
+            if self._outer is None
+            else ("done" if self._outer.is_done else "in-flight")
+        )
+        return f"<FtRequest {self.operation} [{state}] attempts={self.attempts}>"

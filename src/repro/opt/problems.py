@@ -1,0 +1,43 @@
+"""Benchmark objective functions.
+
+The Rosenbrock function is the paper's benchmark: "The well known
+Rosenbrock test function is widely used for benchmarking optimization
+algorithms because of its special mathematical properties" — a narrow
+curved valley that makes progress slow, which is what makes runtimes long
+enough to measure.  Sphere and Rastrigin are included for the examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def rosenbrock(x: np.ndarray) -> float:
+    """Generalized Rosenbrock function.
+
+    ``f(x) = sum_{i=0}^{n-2} 100 (x_{i+1} - x_i^2)^2 + (1 - x_i)^2``
+
+    Global minimum 0 at ``x = (1, ..., 1)``.  Defined for ``n >= 2``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 1 or x.shape[0] < 2:
+        raise ValueError(f"rosenbrock needs a 1-D vector of length >= 2, got {x.shape}")
+    head, tail = x[:-1], x[1:]
+    return float(np.sum(100.0 * (tail - head**2) ** 2 + (1.0 - head) ** 2))
+
+
+def sphere(x: np.ndarray) -> float:
+    """``f(x) = sum x_i^2``; global minimum 0 at the origin."""
+    x = np.asarray(x, dtype=np.float64)
+    return float(np.sum(x * x))
+
+
+def rastrigin(x: np.ndarray) -> float:
+    """Highly multimodal; global minimum 0 at the origin."""
+    x = np.asarray(x, dtype=np.float64)
+    return float(10.0 * x.size + np.sum(x * x - 10.0 * np.cos(2.0 * np.pi * x)))
+
+
+#: conventional search box for the Rosenbrock experiments.
+ROSENBROCK_LOWER = -2.048
+ROSENBROCK_UPPER = 2.048

@@ -1,0 +1,243 @@
+"""GIOP-style inter-ORB messages.
+
+A small General Inter-ORB Protocol: Request, Reply, LocateRequest,
+LocateReply and Reset messages, each encoded to real bytes with CDR so the
+simulated network charges realistic transfer times.  The header mirrors
+GIOP's (magic, version, message type, body length).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Union
+
+from repro.errors import (
+    CdrError,
+    CompletionStatus,
+    MARSHAL,
+    SystemException,
+)
+from repro import errors as _errors
+from repro.orb.cdr import CdrInputStream, CdrOutputStream
+
+MAGIC = b"sGIO"  # "simulated GIOP"
+VERSION = (1, 0)
+
+
+class MsgType(enum.IntEnum):
+    REQUEST = 0
+    REPLY = 1
+    CANCEL_REQUEST = 2
+    LOCATE_REQUEST = 3
+    LOCATE_REPLY = 4
+    RESET = 7  # synthesized on behalf of dead endpoints (TCP RST analogue)
+
+
+class ReplyStatus(enum.IntEnum):
+    NO_EXCEPTION = 0
+    USER_EXCEPTION = 1
+    SYSTEM_EXCEPTION = 2
+    OBJECT_UNKNOWN = 3
+    LOCATION_FORWARD = 4  # body carries the IOR to retry at
+
+
+class LocateStatus(enum.IntEnum):
+    UNKNOWN_OBJECT = 0
+    OBJECT_HERE = 1
+
+
+@dataclass(frozen=True)
+class RequestMessage:
+    request_id: int
+    response_expected: bool
+    object_key: bytes
+    operation: str
+    target_incarnation: int
+    reply_host: str
+    reply_port: int
+    body: bytes
+
+
+@dataclass(frozen=True)
+class ReplyMessage:
+    request_id: int
+    status: ReplyStatus
+    body: bytes
+
+
+@dataclass(frozen=True)
+class LocateRequestMessage:
+    request_id: int
+    object_key: bytes
+    target_incarnation: int
+    reply_host: str
+    reply_port: int
+
+
+@dataclass(frozen=True)
+class LocateReplyMessage:
+    request_id: int
+    status: LocateStatus
+
+
+@dataclass(frozen=True)
+class CancelRequestMessage:
+    """Client notice that it no longer awaits ``request_id`` (GIOP
+    CancelRequest): the server may abort the in-flight dispatch."""
+
+    request_id: int
+
+
+@dataclass(frozen=True)
+class ResetMessage:
+    """Connection-reset notice: the request with ``request_id`` can never be
+    answered because its destination endpoint is gone."""
+
+    request_id: int
+    reason: str
+
+
+GiopMessage = Union[
+    RequestMessage,
+    ReplyMessage,
+    CancelRequestMessage,
+    LocateRequestMessage,
+    LocateReplyMessage,
+    ResetMessage,
+]
+
+
+def encode_message(message: GiopMessage) -> bytes:
+    stream = CdrOutputStream()
+    stream.write_raw(MAGIC)
+    stream.write_octet(VERSION[0])
+    stream.write_octet(VERSION[1])
+    if isinstance(message, RequestMessage):
+        stream.write_octet(MsgType.REQUEST)
+        stream.write_ulong(message.request_id)
+        stream.write_boolean(message.response_expected)
+        stream.write_octets(message.object_key)
+        stream.write_string(message.operation)
+        stream.write_ulong(message.target_incarnation)
+        stream.write_string(message.reply_host)
+        stream.write_ulong(message.reply_port)
+        stream.write_octets(message.body)
+    elif isinstance(message, ReplyMessage):
+        stream.write_octet(MsgType.REPLY)
+        stream.write_ulong(message.request_id)
+        stream.write_octet(int(message.status))
+        stream.write_octets(message.body)
+    elif isinstance(message, CancelRequestMessage):
+        stream.write_octet(MsgType.CANCEL_REQUEST)
+        stream.write_ulong(message.request_id)
+    elif isinstance(message, LocateRequestMessage):
+        stream.write_octet(MsgType.LOCATE_REQUEST)
+        stream.write_ulong(message.request_id)
+        stream.write_octets(message.object_key)
+        stream.write_ulong(message.target_incarnation)
+        stream.write_string(message.reply_host)
+        stream.write_ulong(message.reply_port)
+    elif isinstance(message, LocateReplyMessage):
+        stream.write_octet(MsgType.LOCATE_REPLY)
+        stream.write_ulong(message.request_id)
+        stream.write_octet(int(message.status))
+    elif isinstance(message, ResetMessage):
+        stream.write_octet(MsgType.RESET)
+        stream.write_ulong(message.request_id)
+        stream.write_string(message.reason or "-")
+    else:
+        raise MARSHAL(f"unknown GIOP message type {type(message).__name__}")
+    return stream.getvalue()
+
+
+def decode_message(data: bytes) -> GiopMessage:
+    stream = CdrInputStream(data)
+    if stream.read_raw(4) != MAGIC:
+        raise MARSHAL("bad GIOP magic")
+    major, minor = stream.read_octet(), stream.read_octet()
+    if (major, minor) != VERSION:
+        raise MARSHAL(f"unsupported GIOP version {major}.{minor}")
+    try:
+        msg_type = MsgType(stream.read_octet())
+    except ValueError as exc:
+        raise MARSHAL(f"unknown GIOP message type: {exc}") from exc
+    if msg_type is MsgType.REQUEST:
+        return RequestMessage(
+            request_id=stream.read_ulong(),
+            response_expected=stream.read_boolean(),
+            object_key=stream.read_octets(),
+            operation=stream.read_string(),
+            target_incarnation=stream.read_ulong(),
+            reply_host=stream.read_string(),
+            reply_port=stream.read_ulong(),
+            body=stream.read_octets(),
+        )
+    if msg_type is MsgType.REPLY:
+        return ReplyMessage(
+            request_id=stream.read_ulong(),
+            status=ReplyStatus(stream.read_octet()),
+            body=stream.read_octets(),
+        )
+    if msg_type is MsgType.CANCEL_REQUEST:
+        return CancelRequestMessage(request_id=stream.read_ulong())
+    if msg_type is MsgType.LOCATE_REQUEST:
+        return LocateRequestMessage(
+            request_id=stream.read_ulong(),
+            object_key=stream.read_octets(),
+            target_incarnation=stream.read_ulong(),
+            reply_host=stream.read_string(),
+            reply_port=stream.read_ulong(),
+        )
+    if msg_type is MsgType.LOCATE_REPLY:
+        return LocateReplyMessage(
+            request_id=stream.read_ulong(),
+            status=LocateStatus(stream.read_octet()),
+        )
+    assert msg_type is MsgType.RESET
+    return ResetMessage(
+        request_id=stream.read_ulong(),
+        reason=stream.read_string(),
+    )
+
+
+# -- system-exception bodies -------------------------------------------------------
+
+_SYSTEM_EXCEPTION_NAMES = (
+    "COMM_FAILURE",
+    "OBJECT_NOT_EXIST",
+    "BAD_OPERATION",
+    "BAD_PARAM",
+    "MARSHAL",
+    "NO_IMPLEMENT",
+    "TRANSIENT",
+    "TIMEOUT",
+    "OBJ_ADAPTER",
+    "INV_OBJREF",
+    "UNKNOWN",
+)
+
+
+def encode_system_exception(exc: SystemException) -> bytes:
+    """Reply body for ``SYSTEM_EXCEPTION`` status."""
+    stream = CdrOutputStream()
+    name = type(exc).__name__
+    if name not in _SYSTEM_EXCEPTION_NAMES:
+        name = "UNKNOWN"
+    stream.write_string(name)
+    stream.write_string(str(exc.args[0]) if exc.args else "")
+    stream.write_ulong(exc.minor)
+    stream.write_octet(exc.completed.value)
+    return stream.getvalue()
+
+
+def decode_system_exception(body: bytes) -> SystemException:
+    stream = CdrInputStream(body)
+    name = stream.read_string()
+    message = stream.read_string()
+    minor = stream.read_ulong()
+    completed = CompletionStatus(stream.read_octet())
+    cls = getattr(_errors, name, None)
+    if cls is None or not issubclass(cls, SystemException):
+        cls = _errors.UNKNOWN
+    return cls(message, minor=minor, completed=completed)

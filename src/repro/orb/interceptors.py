@@ -1,0 +1,85 @@
+"""Request interceptors (CORBA Portable-Interceptor style).
+
+Interceptors observe the invocation path without touching application
+code: client-side hooks fire around each outgoing request, server-side
+hooks around each dispatched request.  The fault-tolerance and load
+experiments use them for instrumentation; they are also the natural hook
+for the "ORB-level" load-distribution designs §2 discusses (and rejects
+for portability) — implementable here without modifying the ORB core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.orb.ior import IOR
+
+
+@dataclass
+class RequestInfo:
+    """What an interceptor sees about one request."""
+
+    operation: str
+    request_id: int
+    #: client side: the target IOR; server side: the object key.
+    target: Optional["IOR"] = None
+    object_key: Optional[bytes] = None
+    #: set for receive_exception.
+    exception: Optional[BaseException] = None
+    #: wire size of the request body in bytes.
+    body_size: int = 0
+
+
+class RequestInterceptor:
+    """Base class; override any subset of the hooks."""
+
+    # -- client side ------------------------------------------------------
+
+    def send_request(self, info: RequestInfo) -> None:
+        """Before the request datagram leaves the client."""
+
+    def receive_reply(self, info: RequestInfo) -> None:
+        """After a successful reply was unmarshalled."""
+
+    def receive_exception(self, info: RequestInfo) -> None:
+        """After the invocation failed (system or user exception)."""
+
+    # -- server side ---------------------------------------------------------
+
+    def receive_request(self, info: RequestInfo) -> None:
+        """After the server demarshalled an incoming request."""
+
+    def send_reply(self, info: RequestInfo) -> None:
+        """Before the reply datagram leaves the server."""
+
+
+class TracingInterceptor(RequestInterceptor):
+    """Writes every hook into the simulator's trace log (category "giop")."""
+
+    def __init__(self, sim) -> None:
+        self._sim = sim
+
+    def _emit(self, hook: str, info: RequestInfo) -> None:
+        self._sim.trace.emit(
+            "giop",
+            f"{hook} {info.operation}",
+            request_id=info.request_id,
+            bytes=info.body_size,
+        )
+
+    def send_request(self, info: RequestInfo) -> None:
+        self._emit("send_request", info)
+
+    def receive_reply(self, info: RequestInfo) -> None:
+        self._emit("receive_reply", info)
+
+    def receive_exception(self, info: RequestInfo) -> None:
+        self._emit("receive_exception", info)
+
+    def receive_request(self, info: RequestInfo) -> None:
+        self._emit("receive_request", info)
+
+    def send_reply(self, info: RequestInfo) -> None:
+        self._emit("send_reply", info)

@@ -1,0 +1,58 @@
+"""Interoperable Object References.
+
+An IOR names one CORBA object: which host and port its server process
+listens on, the object key within that server's adapter, and the interface
+repository id.  ``incarnation`` distinguishes re-activations after a host
+restart so stale references fail cleanly with ``OBJECT_NOT_EXIST`` instead
+of hitting an unrelated object.
+
+The stringified form (``IOR:`` + hex of the CDR encoding) round-trips
+through :meth:`IOR.to_string` / :meth:`IOR.from_string`, like
+``ORB::object_to_string`` in CORBA.
+"""
+
+from __future__ import annotations
+
+import binascii
+from dataclasses import dataclass
+
+from repro.errors import INV_OBJREF
+
+
+@dataclass(frozen=True)
+class IOR:
+    """An interoperable object reference."""
+
+    type_id: str
+    host: str
+    port: int
+    object_key: bytes
+    incarnation: int = 0
+
+    def to_string(self) -> str:
+        """Stringified reference: ``IOR:`` + hex-encoded CDR body."""
+        from repro.orb.cdr import CdrOutputStream
+
+        stream = CdrOutputStream()
+        stream.write_ior(self)
+        return "IOR:" + binascii.hexlify(stream.getvalue()).decode("ascii")
+
+    @classmethod
+    def from_string(cls, text: str) -> "IOR":
+        from repro.orb.cdr import CdrInputStream
+
+        if not text.startswith("IOR:"):
+            raise INV_OBJREF(f"not a stringified IOR: {text[:16]!r}...")
+        try:
+            body = binascii.unhexlify(text[4:])
+        except (binascii.Error, ValueError) as exc:
+            raise INV_OBJREF(f"bad IOR hex payload: {exc}") from exc
+        stream = CdrInputStream(body)
+        ior = stream.read_ior()
+        if stream.remaining():
+            raise INV_OBJREF("trailing bytes after IOR body")
+        return ior
+
+    def __str__(self) -> str:
+        key = self.object_key.decode("latin-1", "replace")
+        return f"<IOR {self.type_id} @{self.host}:{self.port}/{key}#{self.incarnation}>"

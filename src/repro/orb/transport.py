@@ -1,0 +1,64 @@
+"""Transport glue between GIOP and the simulated network.
+
+GIOP messages travel as real byte strings in network datagrams.  The one
+transport-level mechanism beyond plain delivery is **reset synthesis**: when
+a request datagram is dropped (dead host, unbound port, partition at
+delivery time), a :class:`~repro.orb.giop.ResetMessage` is injected back to
+the caller after one network latency — the TCP-RST / ICMP-unreachable
+analogue.  The client ORB maps it to ``COMM_FAILURE``, which is precisely
+the failure signal the paper's fault-tolerance proxies rely on.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.orb import giop
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.network import Datagram, Network
+
+
+def install_reset_synthesis(network: "Network") -> None:
+    """Idempotently install the drop listener that synthesizes resets."""
+    if getattr(network, "_giop_reset_installed", False):
+        return
+    network._giop_reset_installed = True  # type: ignore[attr-defined]
+    network.add_drop_listener(lambda dgram: _on_drop(network, dgram))
+
+
+def _on_drop(network: "Network", datagram: "Datagram") -> None:
+    payload = datagram.payload
+    if not isinstance(payload, (bytes, bytearray)):
+        return
+    try:
+        message = giop.decode_message(bytes(payload))
+    except Exception:
+        return  # not a GIOP datagram; nothing to synthesize
+    if isinstance(message, giop.RequestMessage) and message.response_expected:
+        reset = giop.ResetMessage(
+            message.request_id,
+            f"peer {datagram.dst_host}:{datagram.dst_port} unreachable",
+        )
+        raw = giop.encode_message(reset)
+        network.inject(
+            datagram.dst_host,
+            datagram.dst_port,
+            message.reply_host,
+            message.reply_port,
+            raw,
+            len(raw),
+        )
+    elif isinstance(message, giop.LocateRequestMessage):
+        reply = giop.LocateReplyMessage(
+            message.request_id, giop.LocateStatus.UNKNOWN_OBJECT
+        )
+        raw = giop.encode_message(reply)
+        network.inject(
+            datagram.dst_host,
+            datagram.dst_port,
+            message.reply_host,
+            message.reply_port,
+            raw,
+            len(raw),
+        )

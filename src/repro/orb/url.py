@@ -1,0 +1,101 @@
+"""Interoperable-Naming-Service style object URLs.
+
+CORBA 2.4 introduced human-readable object URLs alongside stringified
+IORs:
+
+* ``corbaloc:sim:<host>:<port>/<object_key>`` — directly addresses an
+  object in a server process (here: an ORB endpoint on the simulated
+  network; the real spec's ``iiop:`` protocol tag becomes ``sim:``);
+* ``corbaname:sim:<host>:<port>[/<key>]#<name>`` — addresses a naming
+  context and a name to resolve within it.
+
+These make bootstrap references configurable as plain strings — exactly
+how omniORB-era deployments pointed clients at their naming service.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import TYPE_CHECKING
+
+from repro.errors import INV_OBJREF
+from repro.orb.ior import IOR
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.orb.core import Orb
+
+#: object key used when a corbaname URL omits one (the conventional
+#: bootstrap key of the root naming context).
+DEFAULT_NAMING_KEY = b"NameService"
+
+_CORBALOC_RE = re.compile(
+    r"^corbaloc:sim:(?P<host>[^:/#]+):(?P<port>\d+)/(?P<key>[^#]+)$"
+)
+_CORBANAME_RE = re.compile(
+    r"^corbaname:sim:(?P<host>[^:/#]+):(?P<port>\d+)"
+    r"(?:/(?P<key>[^#]+))?#(?P<name>.+)$"
+)
+
+
+def parse_corbaloc(url: str, incarnation: int = 0) -> IOR:
+    """Parse a ``corbaloc:`` URL into an (untyped) IOR.
+
+    The URL carries no interface or incarnation information; pass the
+    server's incarnation if known, otherwise the reference only works for
+    incarnation-0 servers (the common bootstrap case is a well-known port
+    bound by the first server process on the host).
+    """
+    match = _CORBALOC_RE.match(url)
+    if match is None:
+        raise INV_OBJREF(f"malformed corbaloc URL: {url!r}")
+    return IOR(
+        type_id="",
+        host=match.group("host"),
+        port=int(match.group("port")),
+        object_key=match.group("key").encode("utf-8"),
+        incarnation=incarnation,
+    )
+
+
+def parse_corbaname(url: str, incarnation: int = 0) -> tuple[IOR, str]:
+    """Parse a ``corbaname:`` URL into (naming-context IOR, name string)."""
+    match = _CORBANAME_RE.match(url)
+    if match is None:
+        raise INV_OBJREF(f"malformed corbaname URL: {url!r}")
+    key = match.group("key")
+    context = IOR(
+        type_id="IDL:CosNaming/NamingContext:1.0",
+        host=match.group("host"),
+        port=int(match.group("port")),
+        object_key=key.encode("utf-8") if key else DEFAULT_NAMING_KEY,
+        incarnation=incarnation,
+    )
+    return context, match.group("name")
+
+
+def string_to_object(orb: "Orb", text: str) -> IOR:
+    """Extended ``string_to_object``: IOR strings and corbaloc URLs."""
+    if text.startswith("IOR:"):
+        return IOR.from_string(text)
+    if text.startswith("corbaloc:"):
+        return parse_corbaloc(text)
+    raise INV_OBJREF(
+        f"unsupported object reference format: {text[:24]!r} "
+        "(expected IOR: or corbaloc:)"
+    )
+
+
+def resolve_corbaname(orb: "Orb", url: str):
+    """Generator: resolve a ``corbaname:`` URL to the named object's IOR.
+
+    Usage inside a simulation process::
+
+        ior = yield from resolve_corbaname(orb, "corbaname:sim:ws00:7900#svc")
+    """
+    from repro.services.naming import idl as naming_idl
+    from repro.services.naming.names import to_name
+
+    context_ior, name = parse_corbaname(url)
+    stub = orb.stub(context_ior, naming_idl.NamingContextStub)
+    result = yield stub.resolve(to_name(name))
+    return result

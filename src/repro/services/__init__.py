@@ -1,0 +1,9 @@
+"""CORBA object services.
+
+* :mod:`repro.services.naming` — the CosNaming subset plus the paper's
+  load-distributing naming context (the primary contribution);
+* :mod:`repro.services.trader` — the explicit trader-service baseline the
+  paper's §2 weighs the naming integration against;
+* :mod:`repro.services.checkpoint` — the checkpoint storage service backing
+  the fault-tolerance proxies of §3.
+"""

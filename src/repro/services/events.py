@@ -1,0 +1,158 @@
+"""An event service (CosEventComm/CosEventChannelAdmin subset).
+
+The push model of the CORBA Event Service: suppliers ``push`` untyped
+events into a channel; the channel fans them out to connected
+``PushConsumer`` objects with oneway calls (fire-and-forget, like the
+spec's decoupled delivery).
+
+Included because the paper's future work needs it twice over: monitoring
+systems like Piranha (§3's related work) are built on event propagation,
+and a wide-area Winner wants *push* notification of load changes instead
+of polling.  :class:`LoadAlarmPublisher` provides exactly that: it watches
+the system manager and pushes overload/recovered events into a channel.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.errors import ProcessKilled
+from repro.orb.idl import compile_idl
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.orb.core import Orb
+    from repro.sim.process import Process
+    from repro.winner.system_manager import SystemManager
+
+EVENTS_IDL = """
+module CosEvents {
+    interface PushConsumer {
+        oneway void push(in any data);
+    };
+
+    interface EventChannel : PushConsumer {
+        void connect_consumer(in PushConsumer consumer);
+        void disconnect_consumer(in PushConsumer consumer);
+        long consumer_count();
+        // Drop consumers that no longer answer locate pings.
+        long prune_dead_consumers();
+    };
+};
+"""
+
+ns = compile_idl(EVENTS_IDL, name="cosevents")
+
+PushConsumerStub = ns.PushConsumerStub
+PushConsumerSkeleton = ns.PushConsumerSkeleton
+EventChannelStub = ns.EventChannelStub
+EventChannelSkeleton = ns.EventChannelSkeleton
+
+
+class EventChannelServant(EventChannelSkeleton):
+    """Fans pushed events out to every connected consumer."""
+
+    def __init__(self) -> None:
+        self._consumers: list = []  # IORs
+        self.events_delivered = 0
+        self.events_dropped = 0
+
+    def connect_consumer(self, consumer):
+        if consumer not in self._consumers:
+            self._consumers.append(consumer)
+
+    def disconnect_consumer(self, consumer):
+        if consumer in self._consumers:
+            self._consumers.remove(consumer)
+
+    def consumer_count(self):
+        return len(self._consumers)
+
+    def push(self, data):
+        orb = self._poa.orb  # type: ignore[union-attr]
+        if not self._consumers:
+            self.events_dropped += 1
+            return
+        for ior in list(self._consumers):
+            stub = orb.stub(ior, PushConsumerStub)
+            # Oneway fan-out: the future resolves at send time.
+            yield stub.push(data)
+            self.events_delivered += 1
+
+    def prune_dead_consumers(self):
+        orb = self._poa.orb  # type: ignore[union-attr]
+        removed = 0
+        for ior in list(self._consumers):
+            alive = yield orb.locate(ior)
+            if not alive:
+                self._consumers.remove(ior)
+                removed += 1
+        return removed
+
+
+class CollectingConsumer(PushConsumerSkeleton):
+    """A consumer servant that records everything it receives."""
+
+    def __init__(self) -> None:
+        self.received: list = []
+
+    def push(self, data):
+        self.received.append(data)
+
+
+class LoadAlarmPublisher:
+    """Pushes overload/recovered events for each host into a channel.
+
+    An alarm fires when a host's smoothed utilization crosses
+    ``threshold`` upward; a recovery event when it crosses back down.
+    """
+
+    def __init__(
+        self,
+        orb: "Orb",
+        manager: "SystemManager",
+        channel_ior,
+        threshold: float = 0.8,
+        interval: float = 1.0,
+    ) -> None:
+        self.orb = orb
+        self.manager = manager
+        self.channel = orb.stub(channel_ior, EventChannelStub)
+        self.threshold = threshold
+        self.interval = interval
+        self._over: set[str] = set()
+        self._process: Optional["Process"] = None
+        self.alarms = 0
+
+    def start(self) -> "LoadAlarmPublisher":
+        if self._process is None or self._process.is_done:
+            self._process = self.orb.host.spawn(self._run(), name="load-alarms")
+        return self
+
+    def stop(self) -> None:
+        if self._process is not None:
+            self._process.kill()
+            self._process = None
+
+    def _run(self):
+        sim = self.orb.sim
+        try:
+            while True:
+                yield sim.timeout(self.interval)
+                for row in self.manager.snapshot():
+                    host = row["host"]
+                    overloaded = row["alive"] and row["utilization"] >= self.threshold
+                    if overloaded and host not in self._over:
+                        self._over.add(host)
+                        self.alarms += 1
+                        yield self.channel.push(
+                            {"kind": "overload", "host": host,
+                             "utilization": row["utilization"]}
+                        )
+                    elif not overloaded and host in self._over:
+                        self._over.discard(host)
+                        yield self.channel.push(
+                            {"kind": "recovered", "host": host,
+                             "utilization": row["utilization"]}
+                        )
+        except ProcessKilled:
+            raise

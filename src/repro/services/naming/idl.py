@@ -1,0 +1,95 @@
+"""The naming-service IDL: CosNaming subset plus the paper's extension.
+
+The ``LoadDistributingNamingContext`` interface *derives from* the standard
+``NamingContext``, which is the whole deployment story of §2: "every ORB
+can interoperate with a new naming service as long as it complies to the
+OMG specification" — clients keep calling plain ``resolve`` and get load
+distribution transparently; only the deployer uses ``bind_service`` to
+register service replicas."""
+
+from __future__ import annotations
+
+from repro.orb.idl import compile_idl
+
+NAMING_IDL = """
+module CosNaming {
+    struct NameComponent {
+        string id;
+        string kind;
+    };
+    typedef sequence<NameComponent> Name;
+
+    enum BindingType { nobject, ncontext };
+    struct Binding {
+        Name binding_name;
+        BindingType binding_type;
+    };
+    typedef sequence<Binding> BindingList;
+
+    exception NotFound {
+        string why;
+        Name rest_of_name;
+    };
+    exception CannotProceed { string why; };
+    exception InvalidName { string why; };
+    exception AlreadyBound { string why; };
+    exception NotEmpty { string why; };
+
+    interface NamingContext {
+        void bind(in Name n, in Object obj)
+            raises (NotFound, CannotProceed, InvalidName, AlreadyBound);
+        void rebind(in Name n, in Object obj)
+            raises (NotFound, CannotProceed, InvalidName);
+        void bind_context(in Name n, in NamingContext nc)
+            raises (NotFound, CannotProceed, InvalidName, AlreadyBound);
+        Object resolve(in Name n)
+            raises (NotFound, CannotProceed, InvalidName);
+        void unbind(in Name n)
+            raises (NotFound, CannotProceed, InvalidName);
+        NamingContext new_context();
+        NamingContext bind_new_context(in Name n)
+            raises (NotFound, CannotProceed, InvalidName, AlreadyBound);
+        void destroy() raises (NotEmpty);
+        BindingList list_bindings(in long how_many);
+    };
+
+    // --- the paper's extension -------------------------------------------
+    interface LoadDistributingNamingContext : NamingContext {
+        // Register an additional replica of a (group) service under a name.
+        void bind_service(in Name n, in Object obj)
+            raises (NotFound, CannotProceed, InvalidName, AlreadyBound);
+        // Remove one replica (e.g. after its host died).
+        void unbind_service(in Name n, in Object obj)
+            raises (NotFound, CannotProceed, InvalidName);
+        // Number of replicas currently registered under a name.
+        long replica_count(in Name n)
+            raises (NotFound, CannotProceed, InvalidName);
+        // All replica references of a group (for decentralized selection).
+        sequence<Object> resolve_all(in Name n)
+            raises (NotFound, CannotProceed, InvalidName);
+    };
+};
+"""
+
+ns = compile_idl(NAMING_IDL, name="cosnaming")
+
+# Decode wire NameComponents as the canonical Python class from names.py so
+# clients and servants see a single NameComponent type.
+from repro.orb.cdr import register_struct_class as _register_struct_class
+from repro.services.naming.names import NameComponent as _NameComponent
+
+_register_struct_class("CosNaming::NameComponent", _NameComponent)
+ns.NameComponent = _NameComponent
+
+NameComponentIdl = ns.NameComponent
+BindingType = ns.BindingType
+Binding = ns.Binding
+NotFound = ns.NotFound
+CannotProceed = ns.CannotProceed
+InvalidName = ns.InvalidName
+AlreadyBound = ns.AlreadyBound
+NotEmpty = ns.NotEmpty
+NamingContextStub = ns.NamingContextStub
+NamingContextSkeleton = ns.NamingContextSkeleton
+LoadDistributingNamingContextStub = ns.LoadDistributingNamingContextStub
+LoadDistributingNamingContextSkeleton = ns.LoadDistributingNamingContextSkeleton

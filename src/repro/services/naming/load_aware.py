@@ -1,0 +1,139 @@
+"""The load-distributing naming context — the paper's §2 contribution.
+
+A name may hold a *service group*: several references to equivalent service
+objects on different hosts, registered with ``bind_service``.  A plain
+``resolve`` on such a name transparently returns **one** of them, chosen by
+the configured :class:`~repro.services.naming.strategies.SelectionStrategy`
+("requests from application objects to the naming service are resolved
+using this load information for the selection of an appropriate server").
+
+Because the interface *derives from* ``CosNaming::NamingContext``, client
+code is unchanged — the transparency argument the paper makes against the
+trader and ORB-locator alternatives.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Optional
+
+from repro.orb.ior import IOR
+from repro.services.naming import idl
+from repro.services.naming.context import NamingContextServant, _check_name, _key
+from repro.services.naming.strategies import FirstBoundStrategy, SelectionStrategy
+
+
+class LoadDistributingContextServant(
+    NamingContextServant, idl.LoadDistributingNamingContextSkeleton
+):
+    """Naming context where names can hold replica groups."""
+
+    __repo_id__ = idl.LoadDistributingNamingContextSkeleton.__repo_id__
+    __operations__ = idl.LoadDistributingNamingContextSkeleton.__operations__
+
+    def __init__(self, strategy: Optional[SelectionStrategy] = None) -> None:
+        super().__init__()
+        self.strategy = strategy or FirstBoundStrategy()
+        #: (id, kind) -> ordered replica IORs.
+        self._groups: dict[tuple[str, str], list[IOR]] = {}
+        self.resolutions = 0
+
+    # -- group registration ------------------------------------------------------
+
+    def bind_service(self, n, obj):
+        name = _check_name(n)
+        if len(name) > 1:
+            raise idl.CannotProceed(
+                why="bind_service applies to simple names only"
+            )
+        key = _key(name[0])
+        if key in self._bindings:
+            raise idl.AlreadyBound(
+                why=f"{name[0].id} is a plain binding, not a group"
+            )
+        group = self._groups.setdefault(key, [])
+        if any(existing == obj for existing in group):
+            raise idl.AlreadyBound(why="replica already registered")
+        group.append(obj)
+
+    def unbind_service(self, n, obj):
+        name = _check_name(n)
+        key = _key(name[0])
+        group = self._groups.get(key)
+        if not group or obj not in group:
+            raise idl.NotFound(why="no such replica", rest_of_name=list(name))
+        group.remove(obj)
+        if not group:
+            del self._groups[key]
+
+    def replica_count(self, n):
+        name = _check_name(n)
+        group = self._groups.get(_key(name[0]))
+        if group is None:
+            raise idl.NotFound(why="no such group", rest_of_name=list(name))
+        return len(group)
+
+    def resolve_all(self, n):
+        name = _check_name(n)
+        group = self._groups.get(_key(name[0]))
+        if group is None:
+            raise idl.NotFound(why="no such group", rest_of_name=list(name))
+        return list(group)
+
+    # -- overridden standard operations ----------------------------------------------
+
+    def resolve(self, n):
+        name = _check_name(n)
+        if len(name) == 1:
+            group = self._groups.get(_key(name[0]))
+            if group:
+                self.resolutions += 1
+                group_label = f"{name[0].id}.{name[0].kind}"
+                outcome = self.strategy.choose(group_label, list(group))
+                if inspect.isgenerator(outcome):
+                    outcome = yield from outcome
+                return outcome
+        result = yield from super().resolve(n)
+        return result
+
+    def unbind(self, n):
+        name = _check_name(n)
+        if len(name) == 1 and _key(name[0]) in self._groups:
+            del self._groups[_key(name[0])]
+            return
+        yield from super().unbind(n)
+
+    def bind(self, n, obj):
+        name = _check_name(n)
+        if len(name) == 1 and _key(name[0]) in self._groups:
+            raise idl.AlreadyBound(why=f"{name[0].id} is a service group")
+        yield from super().bind(n, obj)
+
+    def rebind(self, n, obj):
+        name = _check_name(n)
+        if len(name) == 1 and _key(name[0]) in self._groups:
+            # A plain rebind must not silently shadow a replica group.
+            raise idl.CannotProceed(
+                why=f"{name[0].id} is a service group; unbind it first"
+            )
+        yield from super().rebind(n, obj)
+
+    def list_bindings(self, how_many):
+        from repro.services.naming.names import NameComponent
+
+        bindings = list(super().list_bindings(0))
+        for (id_part, kind_part) in sorted(self._groups):
+            bindings.append(
+                idl.Binding(
+                    binding_name=[NameComponent(id_part, kind_part)],
+                    binding_type=idl.BindingType.nobject,
+                )
+            )
+        bindings.sort(key=lambda b: (b.binding_name[0].id, b.binding_name[0].kind))
+        limit = len(bindings) if how_many <= 0 else how_many
+        return bindings[:limit]
+
+    def destroy(self):
+        if self._groups:
+            raise idl.NotEmpty(why=f"{len(self._groups)} groups remain")
+        super().destroy()

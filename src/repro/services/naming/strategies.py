@@ -1,0 +1,120 @@
+"""Replica-selection strategies for the load-distributing naming context.
+
+``choose`` may be a plain method returning an IOR, or a generator that
+yields simulation futures (e.g. a CORBA call to the Winner system manager)
+and returns an IOR — the servant runs either transparently.
+
+* :class:`FirstBoundStrategy` — always the first registered replica; the
+  degenerate "static assignment" baseline.
+* :class:`RoundRobinStrategy` — cycles through replicas per name; this is
+  the load-*oblivious* behaviour we use as the paper's "unmodified naming
+  service" baseline (fair spreading, but blind to background load).
+* :class:`RandomStrategy` — uniform random choice (seeded, reproducible).
+* :class:`WinnerStrategy` — the paper's contribution: ask the Winner
+  system manager for the best host among the replicas' hosts, note the
+  placement, return a replica on that host.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, TYPE_CHECKING
+
+from repro.errors import ServiceError
+from repro.orb.ior import IOR
+
+if TYPE_CHECKING:  # pragma: no cover
+    import numpy as np
+
+    from repro.winner.service import SystemManagerStub
+    from repro.winner.system_manager import SystemManager
+
+
+class SelectionStrategy:
+    """Base class; subclasses override :meth:`choose`."""
+
+    name = "abstract"
+
+    def choose(self, group_name: str, candidates: Sequence[IOR]):
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__}>"
+
+
+class FirstBoundStrategy(SelectionStrategy):
+    name = "first-bound"
+
+    def choose(self, group_name: str, candidates: Sequence[IOR]) -> IOR:
+        return candidates[0]
+
+
+class RoundRobinStrategy(SelectionStrategy):
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._cursors: dict[str, int] = {}
+
+    def choose(self, group_name: str, candidates: Sequence[IOR]) -> IOR:
+        cursor = self._cursors.get(group_name, 0)
+        self._cursors[group_name] = cursor + 1
+        return candidates[cursor % len(candidates)]
+
+
+class RandomStrategy(SelectionStrategy):
+    name = "random"
+
+    def __init__(self, rng: "np.random.Generator") -> None:
+        self._rng = rng
+
+    def choose(self, group_name: str, candidates: Sequence[IOR]) -> IOR:
+        return candidates[int(self._rng.integers(len(candidates)))]
+
+
+class WinnerStrategy(SelectionStrategy):
+    """Selection backed by the Winner system manager (Fig. 1).
+
+    :param system_manager: either a local
+        :class:`~repro.winner.system_manager.SystemManager` (naming service
+        co-located with Winner, the deployment the paper describes) or a
+        ``SystemManagerStub`` (remote system manager, queried via CORBA).
+    """
+
+    name = "winner"
+
+    def __init__(self, system_manager) -> None:
+        self._manager = system_manager
+        self.queries = 0
+        self.fallbacks = 0
+
+    def choose(self, group_name: str, candidates: Sequence[IOR]):
+        hosts = sorted({ior.host for ior in candidates})
+        self.queries += 1
+        if hasattr(self._manager, "best_host") and not hasattr(
+            self._manager, "_invoke"
+        ):
+            best = self._manager.best_host(candidates=hosts)
+            chosen = self._pick(candidates, best)
+            if best and chosen is not None:
+                self._manager.note_placement(best)
+                return chosen
+            self.fallbacks += 1
+            return candidates[0]
+        return self._choose_remote(candidates, hosts)
+
+    def _choose_remote(self, candidates: Sequence[IOR], hosts: list[str]):
+        best = yield self._manager.best_host(hosts, [])
+        chosen = self._pick(candidates, best)
+        if best and chosen is not None:
+            yield self._manager.note_placement(best)
+            return chosen
+        self.fallbacks += 1
+        return candidates[0]
+
+    @staticmethod
+    def _pick(candidates: Sequence[IOR], best: Optional[str]) -> Optional[IOR]:
+        if not best:
+            return None
+        for ior in candidates:
+            if ior.host == best:
+                return ior
+        return None

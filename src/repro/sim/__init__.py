@@ -1,0 +1,36 @@
+"""Deterministic discrete-event simulation kernel.
+
+This package is the substrate on which the whole reproduction runs: a
+generator-based process model (in the style of SimPy), futures, timeouts,
+processor-sharing CPU resources and FIFO channels, all driven by a single
+event heap with deterministic tie-breaking.
+
+Everything above this layer — the simulated network, the ORB, the Winner
+resource manager, the optimization workloads — expresses waiting and
+computing by yielding :class:`SimFuture` objects from generator processes.
+"""
+
+from repro.sim.events import SimFuture, all_of, any_of
+from repro.sim.kernel import ScheduledEvent, Simulator
+from repro.sim.process import Process
+from repro.sim.resources import ProcessorSharingCPU
+from repro.sim.channels import Channel
+from repro.sim.sync import Lock
+from repro.sim.randomness import stable_hash, rng_stream
+from repro.sim.tracing import Trace, TraceRecord
+
+__all__ = [
+    "Channel",
+    "Lock",
+    "Process",
+    "ProcessorSharingCPU",
+    "ScheduledEvent",
+    "SimFuture",
+    "Simulator",
+    "Trace",
+    "TraceRecord",
+    "all_of",
+    "any_of",
+    "rng_stream",
+    "stable_hash",
+]

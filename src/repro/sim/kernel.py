@@ -1,0 +1,198 @@
+"""The event-heap driver of the simulation.
+
+A :class:`Simulator` owns simulated time, an event heap with deterministic
+FIFO tie-breaking, seeded random streams, and the trace log.  All other
+kernel objects (processes, CPUs, channels) schedule work through it.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim.events import SimFuture, all_of, any_of
+from repro.sim.randomness import rng_stream
+from repro.sim.tracing import Trace
+
+
+class ScheduledEvent:
+    """A cancellable callback scheduled at an absolute simulated time."""
+
+    __slots__ = ("time", "seq", "callback", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], None]) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running; idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    :param seed: master seed; every named random stream obtained through
+        :meth:`rng` derives from it reproducibly.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self.now: float = 0.0
+        self._heap: list[ScheduledEvent] = []
+        self._seq = 0
+        self._running = False
+        self._rngs: dict[tuple[str, ...], np.random.Generator] = {}
+        self.trace = Trace(self)
+        self.processes: list[Any] = []  # populated by Process
+        #: (name, exception) pairs of processes that died from an uncaught,
+        #: non-kill exception while nobody was watching them.
+        self.unhandled_failures: list[tuple[str, BaseException]] = []
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> ScheduledEvent:
+        """Run ``callback()`` after ``delay`` simulated seconds.
+
+        Events scheduled for the same instant fire in scheduling order.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        event = ScheduledEvent(self.now + delay, self._seq, callback)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> ScheduledEvent:
+        """Run ``callback()`` at absolute simulated ``time`` (>= now)."""
+        return self.schedule(time - self.now, callback)
+
+    def call_soon(self, callback: Callable[[], None]) -> ScheduledEvent:
+        """Run ``callback()`` at the current instant, after pending events
+        already scheduled for this instant."""
+        return self.schedule(0.0, callback)
+
+    # -- execution ----------------------------------------------------------
+
+    def step(self) -> bool:
+        """Process the next event. Returns False when the heap is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            if event.time < self.now - 1e-12:
+                raise SimulationError("event heap time went backwards")
+            self.now = max(self.now, event.time)
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the heap drains or simulated time reaches ``until``.
+
+        Returns the simulated time at which execution stopped.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (reentrant run())")
+        self._running = True
+        try:
+            while self._heap:
+                head = self._heap[0]
+                if head.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and head.time > until:
+                    break
+                self.step()
+            if until is not None and self.now < until:
+                self.now = until
+        finally:
+            self._running = False
+        return self.now
+
+    def run_until_done(self, future: SimFuture, limit: float = float("inf")) -> Any:
+        """Drive the simulation until ``future`` resolves; return its value.
+
+        Raises :class:`SimulationError` if the heap drains (deadlock) or the
+        time ``limit`` is exceeded while the future is still pending.
+        """
+        while future.is_pending:
+            if not self._heap:
+                raise SimulationError(
+                    f"deadlock: event heap empty but {future!r} is pending"
+                )
+            if self._heap[0].time > limit:
+                raise SimulationError(
+                    f"time limit {limit} exceeded while waiting for {future!r}"
+                )
+            self.step()
+        return future.value
+
+    # -- awaitable constructors ----------------------------------------------
+
+    def future(self, label: str = "") -> SimFuture:
+        return SimFuture(self, label=label)
+
+    def timeout(self, delay: float, value: Any = None) -> SimFuture:
+        """A future that succeeds with ``value`` after ``delay`` seconds."""
+        future = SimFuture(self, label=f"timeout({delay})")
+        self.schedule(delay, lambda: future.try_succeed(value))
+        return future
+
+    def all_of(self, futures: Iterable[SimFuture]) -> SimFuture:
+        return all_of(self, futures)
+
+    def any_of(self, futures: Iterable[SimFuture]) -> SimFuture:
+        return any_of(self, futures)
+
+    def spawn(self, generator: Generator, name: str = "") -> "Process":
+        """Start a generator as a simulation process (see
+        :class:`repro.sim.process.Process`)."""
+        from repro.sim.process import Process
+
+        return Process(self, generator, name=name)
+
+    # -- randomness -----------------------------------------------------------
+
+    def rng(self, *names: str) -> np.random.Generator:
+        """A named, reproducible random stream derived from the master seed.
+
+        Repeated calls with the same names return the same generator object,
+        so consumption order within a stream is well-defined.
+        """
+        key = tuple(names)
+        generator = self._rngs.get(key)
+        if generator is None:
+            generator = rng_stream(self.seed, *names)
+            self._rngs[key] = generator
+        return generator
+
+    def check_unhandled(self) -> None:
+        """Raise the first unhandled process failure, if any.
+
+        Tests call this after a run to make sure no background process died
+        silently.
+        """
+        if self.unhandled_failures:
+            name, exc = self.unhandled_failures[0]
+            raise SimulationError(
+                f"process {name!r} failed with unhandled "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def pending_event_count(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator t={self.now:.6f} events={self.pending_event_count}>"

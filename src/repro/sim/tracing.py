@@ -1,0 +1,67 @@
+"""Structured trace log for the simulation.
+
+Components emit timestamped records into the simulator's trace; tests and
+benchmark reports filter them by category.  Tracing is cheap when disabled
+(a single predicate check per emit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry."""
+
+    time: float
+    category: str
+    message: str
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        extra = " ".join(f"{k}={v}" for k, v in self.fields.items())
+        return f"[{self.time:12.6f}] {self.category:<12} {self.message} {extra}".rstrip()
+
+
+class Trace:
+    """Collects :class:`TraceRecord` objects during a run."""
+
+    def __init__(self, sim: "Simulator") -> None:
+        self._sim = sim
+        self.enabled = False
+        self.records: list[TraceRecord] = []
+        self._filter: Optional[Callable[[str], bool]] = None
+
+    def enable(self, categories: Optional[set[str]] = None) -> None:
+        """Turn tracing on, optionally restricted to ``categories``."""
+        self.enabled = True
+        self._filter = (lambda c: c in categories) if categories else None
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def emit(self, category: str, message: str, **fields: Any) -> None:
+        if not self.enabled:
+            return
+        if self._filter is not None and not self._filter(category):
+            return
+        self.records.append(
+            TraceRecord(self._sim.now, category, message, dict(fields))
+        )
+
+    def by_category(self, category: str) -> Iterator[TraceRecord]:
+        return (r for r in self.records if r.category == category)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)

@@ -1,0 +1,52 @@
+"""The *Winner* resource management system.
+
+"Basically, Winner provides load distribution services for a network of
+Unix workstations.  Its components of interest here are the central system
+manager and the node managers.  There is one node manager on each
+participating workstation, periodically measuring the node's performance
+and system load, i.e. data like CPU utilization which is collected by the
+host operating system.  This data is sent to the system manager, which has
+functionality to determine the machine with the currently best
+performance." (§2)
+
+This package reproduces exactly that pipeline on the simulated NOW:
+
+* :mod:`repro.winner.metrics` — load samples and EWMA smoothing;
+* :mod:`repro.winner.protocol` — the report datagrams (CDR-encoded);
+* :mod:`repro.winner.node_manager` — the per-host measuring daemon;
+* :mod:`repro.winner.system_manager` — the central collector and ranker,
+  with placement feedback so burst resolutions spread across hosts;
+* :mod:`repro.winner.ranking` — pluggable "best host" policies;
+* :mod:`repro.winner.service` — the CORBA servant wrapping the system
+  manager for the naming service's use (the integration of Fig. 1).
+"""
+
+from repro.winner.metrics import Ewma, LoadSample
+from repro.winner.protocol import LoadReport
+from repro.winner.node_manager import NodeManager
+from repro.winner.system_manager import HostRecord, SystemManager
+from repro.winner.ranking import (
+    ExpectedRateRanking,
+    Ranking,
+    UtilizationRanking,
+)
+from repro.winner.batch import BatchJob, BatchQueue, JobState
+from repro.winner.federation import MetaManager, MetaStrategy, SiteSummary
+
+__all__ = [
+    "BatchJob",
+    "BatchQueue",
+    "Ewma",
+    "ExpectedRateRanking",
+    "HostRecord",
+    "JobState",
+    "LoadReport",
+    "LoadSample",
+    "MetaManager",
+    "MetaStrategy",
+    "NodeManager",
+    "Ranking",
+    "SiteSummary",
+    "SystemManager",
+    "UtilizationRanking",
+]

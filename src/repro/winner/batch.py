@@ -1,0 +1,262 @@
+"""Batch queueing on top of Winner.
+
+The Winner system the paper builds on also provided batch queueing
+(Arndt/Freisleben/Kielmann/Thilo, "Batch Queueing in the WINNER Resource
+Management System" — the companion paper of reference [1]): users submit
+CPU-bound jobs; the scheduler places queued jobs on the currently best
+workstations, bounded by a per-host slot limit, and re-queues jobs whose
+host dies.
+
+This module reproduces that subsystem on the simulated NOW.  It is a
+*substrate* feature (the interactive CORBA services of the paper coexist
+with batch jobs competing for the same CPUs), and the load it generates is
+visible to the same node managers that drive the naming service.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, TYPE_CHECKING
+
+from repro.errors import ConfigurationError, HostDownError, ProcessKilled
+from repro.sim.events import SimFuture
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.cluster import Cluster
+    from repro.sim.process import Process
+    from repro.winner.system_manager import SystemManager
+
+
+class JobState(enum.Enum):
+    """Lifecycle states of a batch job."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+@dataclass
+class BatchJob:
+    """One submitted job."""
+
+    job_id: int
+    name: str
+    work: float  # CPU seconds on a speed-1 host
+    priority: int = 0  # higher runs first
+    max_restarts: int = 2
+    state: JobState = JobState.QUEUED
+    host: Optional[str] = None
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    restarts: int = 0
+    #: resolved when the job reaches a terminal state.
+    completion: Optional[SimFuture] = None
+
+    @property
+    def waiting_time(self) -> Optional[float]:
+        if self.started_at is None:
+            return None
+        return self.started_at - self.submitted_at
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
+
+
+class BatchQueue:
+    """Winner's batch scheduler.
+
+    :param slots_per_host: concurrent batch jobs allowed per workstation
+      (interactive services still share the CPU — batch load is exactly
+      the "background load" the naming experiments vary).
+    :param min_score: hosts scoring below this are not used for batch work
+      (keeps interactive machines responsive).
+    """
+
+    def __init__(
+        self,
+        cluster: "Cluster",
+        system_manager: "SystemManager",
+        slots_per_host: int = 1,
+        min_score: float = 0.0,
+        scheduling_interval: float = 0.5,
+    ) -> None:
+        if slots_per_host < 1:
+            raise ConfigurationError("slots_per_host must be >= 1")
+        self.cluster = cluster
+        self.manager = system_manager
+        self.slots_per_host = slots_per_host
+        self.min_score = min_score
+        self.scheduling_interval = scheduling_interval
+        self._ids = itertools.count(1)
+        self.jobs: dict[int, BatchJob] = {}
+        self._queue: list[int] = []
+        self._running: dict[int, "Process"] = {}
+        self._slots_used: dict[str, int] = {}
+        self._scheduler: Optional["Process"] = None
+        self.completed = 0
+        self.failed = 0
+
+    # -- submission --------------------------------------------------------------
+
+    def submit(
+        self,
+        work: float,
+        name: str = "",
+        priority: int = 0,
+        max_restarts: int = 2,
+    ) -> BatchJob:
+        """Queue a job; returns it (await ``job.completion`` for the end)."""
+        if work <= 0:
+            raise ConfigurationError("job work must be positive")
+        sim = self.cluster.sim
+        job = BatchJob(
+            job_id=next(self._ids),
+            name=name or f"job-{len(self.jobs) + 1}",
+            work=work,
+            priority=priority,
+            max_restarts=max_restarts,
+            submitted_at=sim.now,
+            completion=sim.future(label="batch-job"),
+        )
+        self.jobs[job.job_id] = job
+        self._enqueue(job)
+        self._ensure_scheduler()
+        return job
+
+    def cancel(self, job_id: int) -> bool:
+        """Cancel a queued or running job; returns whether it was live."""
+        job = self.jobs.get(job_id)
+        if job is None or job.terminal:
+            return False
+        if job.job_id in self._queue:
+            self._queue.remove(job.job_id)
+        process = self._running.pop(job.job_id, None)
+        if process is not None:
+            process.kill()
+            self._release_slot(job.host)
+        job.state = JobState.CANCELLED
+        job.finished_at = self.cluster.sim.now
+        job.completion.try_fail(ProcessKilled(f"job {job.name} cancelled"))
+        return True
+
+    # -- introspection -----------------------------------------------------------------
+
+    @property
+    def queued_count(self) -> int:
+        return len(self._queue)
+
+    @property
+    def running_count(self) -> int:
+        return len(self._running)
+
+    def stats(self) -> dict:
+        waits = [
+            job.waiting_time
+            for job in self.jobs.values()
+            if job.waiting_time is not None
+        ]
+        return {
+            "submitted": len(self.jobs),
+            "completed": self.completed,
+            "failed": self.failed,
+            "queued": self.queued_count,
+            "running": self.running_count,
+            "mean_wait": sum(waits) / len(waits) if waits else 0.0,
+        }
+
+    # -- scheduling -----------------------------------------------------------------------
+
+    def _enqueue(self, job: BatchJob) -> None:
+        self._queue.append(job.job_id)
+        # Stable priority order: higher priority first, then FIFO.
+        self._queue.sort(key=lambda jid: (-self.jobs[jid].priority, jid))
+
+    def _ensure_scheduler(self) -> None:
+        if self._scheduler is None or self._scheduler.is_done:
+            sim = self.cluster.sim
+            self._scheduler = sim.spawn(self._schedule_loop(), name="batch-sched")
+
+    def _schedule_loop(self):
+        sim = self.cluster.sim
+        while self._queue or self._running:
+            self._dispatch_ready()
+            yield sim.timeout(self.scheduling_interval)
+
+    def _dispatch_ready(self) -> None:
+        while self._queue:
+            host_name = self._pick_host()
+            if host_name is None:
+                return
+            job = self.jobs[self._queue.pop(0)]
+            self._start(job, host_name)
+
+    def _pick_host(self) -> Optional[str]:
+        candidates = [
+            host.name
+            for host in self.cluster.up_hosts()
+            if self._slots_used.get(host.name, 0) < self.slots_per_host
+        ]
+        if not candidates:
+            return None
+        best = self.manager.best_host(candidates=candidates)
+        if best is None or self.manager.score(best) < self.min_score:
+            return None
+        return best
+
+    def _start(self, job: BatchJob, host_name: str) -> None:
+        sim = self.cluster.sim
+        host = self.cluster.host(host_name)
+        job.state = JobState.RUNNING
+        job.host = host_name
+        job.started_at = sim.now
+        self._slots_used[host_name] = self._slots_used.get(host_name, 0) + 1
+        self.manager.note_placement(host_name)
+
+        def run():
+            yield host.execute(job.work)
+
+        process = host.spawn(run(), name=f"batch:{job.name}")
+        self._running[job.job_id] = process
+        process.add_done_callback(lambda p: self._finished(job, p))
+
+    def _finished(self, job: BatchJob, process: SimFuture) -> None:
+        if job.terminal:
+            return  # cancelled while completing
+        self._running.pop(job.job_id, None)
+        self._release_slot(job.host)
+        sim = self.cluster.sim
+        if process.succeeded:
+            job.state = JobState.DONE
+            job.finished_at = sim.now
+            self.completed += 1
+            job.completion.try_succeed(job)
+            return
+        # Host died (or the job was killed with it): restart if allowed.
+        if isinstance(process.exception, (HostDownError, ProcessKilled)) and (
+            job.restarts < job.max_restarts
+        ):
+            job.restarts += 1
+            job.state = JobState.QUEUED
+            job.host = None
+            self._enqueue(job)
+            self._ensure_scheduler()
+            sim.trace.emit("batch", f"requeued {job.name}", restarts=job.restarts)
+            return
+        job.state = JobState.FAILED
+        job.finished_at = sim.now
+        self.failed += 1
+        job.completion.try_fail(
+            process.exception
+            if process.exception is not None
+            else HostDownError("job host failed")
+        )
+
+    def _release_slot(self, host_name: Optional[str]) -> None:
+        if host_name and self._slots_used.get(host_name, 0) > 0:
+            self._slots_used[host_name] -= 1

@@ -1,0 +1,228 @@
+"""Winner federation for wide-area metacomputing (the paper's future work).
+
+One :class:`~repro.winner.system_manager.SystemManager` runs per LAN site
+(the existing architecture, unchanged); a :class:`MetaManager` federates
+them: each site manager's summary is polled over the (simulated) WAN, and
+placement questions are answered site-first — prefer the caller's site
+unless a remote site is better by more than the configured WAN penalty
+factor, because every subsequent request to a remote placement pays WAN
+round trips.
+
+:class:`MetaStrategy` plugs the federation into the load-distributing
+naming context, so wide-area placement stays transparent to clients —
+the same property the paper's §2 establishes for the single-LAN case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, TYPE_CHECKING
+
+from repro.errors import ConfigurationError, ProcessKilled
+from repro.orb.ior import IOR
+from repro.services.naming.strategies import SelectionStrategy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.host import Host
+    from repro.cluster.wan import WideAreaNetwork
+    from repro.sim.process import Process
+    from repro.winner.system_manager import SystemManager
+
+
+@dataclass
+class SiteSummary:
+    """Aggregated view of one site, as the meta manager last saw it."""
+
+    site: str
+    alive_hosts: int
+    best_host: Optional[str]
+    best_score: float
+    total_idle_capacity: float
+    updated_at: float
+
+
+class MetaManager:
+    """Federates per-site system managers across a WAN.
+
+    The meta manager polls each site manager on a period (summaries are
+    small; a poll costs one WAN round trip of simulated time when the site
+    manager is remote — modelled here simply as the collection period
+    being much longer than LAN reporting, as a WAN deployment would use).
+    """
+
+    def __init__(
+        self,
+        host: "Host",
+        network: "WideAreaNetwork",
+        poll_interval: float = 5.0,
+        wan_penalty: float = 1.5,
+    ) -> None:
+        if wan_penalty < 1.0:
+            raise ConfigurationError("wan_penalty must be >= 1.0")
+        self.host = host
+        self.network = network
+        self.poll_interval = poll_interval
+        #: a remote site must beat the local one by this factor to win.
+        self.wan_penalty = wan_penalty
+        self._site_managers: dict[str, "SystemManager"] = {}
+        self.summaries: dict[str, SiteSummary] = {}
+        self._process: Optional["Process"] = None
+        self.polls = 0
+
+    # -- registration -----------------------------------------------------------
+
+    def register_site(self, site: str, manager: "SystemManager") -> None:
+        self._site_managers[site] = manager
+
+    def sites(self) -> list[str]:
+        return sorted(self._site_managers)
+
+    def site_manager(self, site: str) -> "SystemManager":
+        try:
+            return self._site_managers[site]
+        except KeyError:
+            raise ConfigurationError(f"unknown site {site!r}") from None
+
+    # -- collection ----------------------------------------------------------------
+
+    def start(self) -> "MetaManager":
+        if self._process is None or self._process.is_done:
+            self.refresh()  # initial snapshot so queries work immediately
+            self._process = self.host.spawn(self._run(), name="winner-meta")
+        return self
+
+    def stop(self) -> None:
+        if self._process is not None:
+            self._process.kill()
+            self._process = None
+
+    def refresh(self) -> None:
+        """Pull a fresh summary from every site manager."""
+        now = self.host.sim.now
+        for site, manager in self._site_managers.items():
+            alive = manager.alive_hosts()
+            best = manager.best_host()
+            self.summaries[site] = SiteSummary(
+                site=site,
+                alive_hosts=len(alive),
+                best_host=best,
+                best_score=manager.score(best) if best else float("-inf"),
+                total_idle_capacity=sum(
+                    max(0.0, manager.score(name)) for name in alive
+                ),
+                updated_at=now,
+            )
+        self.polls += 1
+
+    def _run(self):
+        sim = self.host.sim
+        try:
+            while True:
+                yield sim.timeout(self.poll_interval)
+                self.refresh()
+        except ProcessKilled:
+            raise
+
+    # -- placement ----------------------------------------------------------------------
+
+    def best_site(self, prefer: Optional[str] = None) -> Optional[str]:
+        """The site to place on, biased toward ``prefer`` (the caller's).
+
+        A remote site wins only when its best-host score exceeds the
+        preferred site's by the WAN penalty factor.
+        """
+        candidates = {
+            site: summary
+            for site, summary in self.summaries.items()
+            if summary.alive_hosts > 0
+        }
+        if not candidates:
+            return None
+        best_site = max(
+            sorted(candidates),
+            key=lambda site: candidates[site].best_score,
+        )
+        if prefer is None or prefer not in candidates:
+            return best_site
+        preferred = candidates[prefer]
+        if (
+            best_site != prefer
+            and candidates[best_site].best_score
+            > preferred.best_score * self.wan_penalty
+        ):
+            return best_site
+        return prefer
+
+    def best_host(
+        self,
+        candidates: Optional[Sequence[str]] = None,
+        prefer_site: Optional[str] = None,
+    ) -> Optional[str]:
+        """Best host across the federation (restricted to ``candidates``)."""
+        per_site: dict[str, list[str]] = {}
+        if candidates:
+            for name in candidates:
+                per_site.setdefault(self.network.site_of(name), []).append(name)
+        else:
+            for site in self._site_managers:
+                per_site[site] = []
+        # Evaluate each site's best among its candidates.
+        site_best: dict[str, tuple[str, float]] = {}
+        for site, names in per_site.items():
+            manager = self._site_managers.get(site)
+            if manager is None:
+                continue
+            best = manager.best_host(candidates=names or None)
+            if best is not None:
+                site_best[site] = (best, manager.score(best))
+        if not site_best:
+            return None
+        chosen_site = self._choose_site(site_best, prefer_site)
+        best, _score = site_best[chosen_site]
+        self._site_managers[chosen_site].note_placement(best)
+        return best
+
+    def _choose_site(
+        self, site_best: dict[str, tuple[str, float]], prefer: Optional[str]
+    ) -> str:
+        ranked = max(sorted(site_best), key=lambda s: site_best[s][1])
+        if prefer is None or prefer not in site_best:
+            return ranked
+        if (
+            ranked != prefer
+            and site_best[ranked][1] > site_best[prefer][1] * self.wan_penalty
+        ):
+            return ranked
+        return prefer
+
+
+class MetaStrategy(SelectionStrategy):
+    """Naming-service selection backed by the federation.
+
+    :param home_site: the site the naming context serves (placements are
+        biased toward it by the WAN penalty).
+    """
+
+    name = "meta"
+
+    def __init__(self, meta: MetaManager, home_site: Optional[str] = None) -> None:
+        self._meta = meta
+        self.home_site = home_site
+        self.queries = 0
+        self.remote_selections = 0
+
+    def choose(self, group_name: str, candidates: Sequence[IOR]) -> IOR:
+        self.queries += 1
+        hosts = sorted({ior.host for ior in candidates})
+        best = self._meta.best_host(hosts, prefer_site=self.home_site)
+        if best is None:
+            return candidates[0]
+        if (
+            self.home_site is not None
+            and self._meta.network.site_of(best) != self.home_site
+        ):
+            self.remote_selections += 1
+        for ior in candidates:
+            if ior.host == best:
+                return ior
+        return candidates[0]

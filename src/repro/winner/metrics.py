@@ -1,0 +1,64 @@
+"""Load metrics: samples taken by node managers and EWMA smoothing.
+
+The node manager measures what a 1990s Unix node manager measured from the
+kernel: CPU utilization over the sampling window (from the CPU's busy-time
+integral, the ``/proc/stat`` analogue) and the run-queue length (the load
+average's instantaneous input).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LoadSample:
+    """One measurement of a host's load state."""
+
+    host: str
+    time: float
+    #: fraction of total CPU capacity used over the sampling window, 0..1.
+    cpu_utilization: float
+    #: number of runnable tasks at sampling time.
+    run_queue: int
+    #: static relative speed rating (Winner's benchmark value).
+    speed: float
+    cores: int
+
+
+class Ewma:
+    """Exponentially-weighted moving average, the classic load-average
+    smoother.
+
+    :param alpha: weight of the newest observation (0 < alpha <= 1).
+    """
+
+    def __init__(self, alpha: float = 0.5, initial: float | None = None) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigurationError(f"EWMA alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._value = initial
+
+    @property
+    def value(self) -> float:
+        """Current estimate (0.0 before any update)."""
+        return 0.0 if self._value is None else self._value
+
+    @property
+    def initialized(self) -> bool:
+        return self._value is not None
+
+    def update(self, observation: float) -> float:
+        if self._value is None:
+            self._value = float(observation)
+        else:
+            self._value += self.alpha * (float(observation) - self._value)
+        return self._value
+
+    def reset(self) -> None:
+        self._value = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Ewma alpha={self.alpha} value={self.value:.4f}>"

@@ -1,0 +1,120 @@
+"""The per-workstation node manager daemon.
+
+"There is one node manager on each participating workstation, periodically
+measuring the node's performance and system load."  Each sampling interval
+it reads the CPU's busy-time integral (utilization over the window) and the
+run-queue length and fires a report datagram at the system manager.  It is
+a plain host-bound process: it dies with its host — which is precisely how
+the system manager notices dead machines (reports stop arriving)."""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.errors import ProcessKilled
+from repro.winner.metrics import LoadSample
+from repro.winner.protocol import LoadReport, SYSTEM_MANAGER_PORT
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.host import Host
+    from repro.cluster.network import Network
+    from repro.sim.process import Process
+
+#: source port node managers send from.
+NODE_MANAGER_PORT = 7789
+
+
+class NodeManager:
+    """Measures one host and reports to the system manager."""
+
+    def __init__(
+        self,
+        host: "Host",
+        network: "Network",
+        manager_host: str,
+        manager_port: int = SYSTEM_MANAGER_PORT,
+        interval: float = 1.0,
+        jitter: float = 0.05,
+    ) -> None:
+        self.host = host
+        self.network = network
+        self.manager_host = manager_host
+        self.manager_port = manager_port
+        self.interval = interval
+        self.jitter = jitter
+        self._process: Optional["Process"] = None
+        self._seq = 0
+        self._last_busy_integral = 0.0
+        self._last_sample_time = host.sim.now
+        self.samples_taken = 0
+
+    @property
+    def running(self) -> bool:
+        return self._process is not None and self._process.is_pending
+
+    def start(self) -> "NodeManager":
+        if self.running:
+            return self
+        self._last_busy_integral = self.host.cpu.utilization_integral()
+        self._last_sample_time = self.host.sim.now
+        self._process = self.host.spawn(self._run(), name="winner-nm")
+        return self
+
+    def stop(self) -> None:
+        if self._process is not None:
+            self._process.kill()
+            self._process = None
+
+    def sample(self) -> LoadSample:
+        """Take one measurement (utilization since the previous sample)."""
+        now = self.host.sim.now
+        busy = self.host.cpu.utilization_integral()
+        window = now - self._last_sample_time
+        utilization = 0.0
+        if window > 0:
+            utilization = (busy - self._last_busy_integral) / window
+        self._last_busy_integral = busy
+        self._last_sample_time = now
+        self.samples_taken += 1
+        return LoadSample(
+            host=self.host.name,
+            time=now,
+            cpu_utilization=min(1.0, max(0.0, utilization)),
+            run_queue=self.host.cpu.run_queue_length,
+            speed=self.host.speed,
+            cores=self.host.cores,
+        )
+
+    def _run(self):
+        sim = self.host.sim
+        rng = sim.rng("winner-nm", self.host.name)
+        # Desynchronize daemons so reports do not arrive in lockstep.
+        yield sim.timeout(float(rng.uniform(0.0, self.interval)))
+        try:
+            while True:
+                sample = self.sample()
+                self._seq += 1
+                report = LoadReport(
+                    host=sample.host,
+                    time=sample.time,
+                    cpu_utilization=sample.cpu_utilization,
+                    run_queue=sample.run_queue,
+                    speed=sample.speed,
+                    cores=sample.cores,
+                    seq=self._seq,
+                )
+                raw = report.encode()
+                self.network.send(
+                    self.host,
+                    NODE_MANAGER_PORT,
+                    self.manager_host,
+                    self.manager_port,
+                    raw,
+                    len(raw),
+                )
+                delay = self.interval
+                if self.jitter:
+                    delay *= 1.0 + float(rng.uniform(-self.jitter, self.jitter))
+                yield sim.timeout(delay)
+        except ProcessKilled:
+            raise

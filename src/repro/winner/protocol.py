@@ -1,0 +1,62 @@
+"""Winner's report protocol.
+
+Node managers push :class:`LoadReport` datagrams to the system manager over
+the plain network (Winner predates the CORBA integration — it is a Unix
+daemon speaking its own lightweight protocol; the CORBA face is added by
+:mod:`repro.winner.service`).  Reports are CDR-encoded so their wire size is
+charged realistically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CdrError
+from repro.orb.cdr import CdrInputStream, CdrOutputStream
+
+_MAGIC = b"WNR1"
+
+#: default UDP-style port of the system manager.
+SYSTEM_MANAGER_PORT = 7788
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """One node-manager → system-manager report."""
+
+    host: str
+    time: float
+    cpu_utilization: float
+    run_queue: int
+    speed: float
+    cores: int
+    #: monotonically increasing per-node-manager sequence number; lets the
+    #: collector discard reordered reports.
+    seq: int
+
+    def encode(self) -> bytes:
+        stream = CdrOutputStream()
+        stream.write_raw(_MAGIC)
+        stream.write_string(self.host)
+        stream.write_double(self.time)
+        stream.write_double(self.cpu_utilization)
+        stream.write_ulong(self.run_queue)
+        stream.write_double(self.speed)
+        stream.write_ulong(self.cores)
+        stream.write_ulonglong(self.seq)
+        return stream.getvalue()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "LoadReport":
+        stream = CdrInputStream(data)
+        if stream.read_raw(4) != _MAGIC:
+            raise CdrError("not a Winner load report")
+        return cls(
+            host=stream.read_string(),
+            time=stream.read_double(),
+            cpu_utilization=stream.read_double(),
+            run_queue=stream.read_ulong(),
+            speed=stream.read_double(),
+            cores=stream.read_ulong(),
+            seq=stream.read_ulonglong(),
+        )

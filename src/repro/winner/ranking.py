@@ -1,0 +1,47 @@
+"""Host-ranking policies: how the system manager decides which machine has
+"the currently best performance".
+
+The default :class:`ExpectedRateRanking` scores a host by the CPU rate a
+newly placed task would get under processor sharing — the quantity that
+actually determines the runtimes in Fig. 3.  :class:`UtilizationRanking`
+ranks by idle capacity only, a simpler policy included for the ablation
+bench.  Ties break deterministically by host name so experiments are
+reproducible."""
+
+from __future__ import annotations
+
+from typing import Protocol, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.winner.system_manager import HostRecord
+
+
+class Ranking(Protocol):
+    """A scoring policy; higher scores are better placements."""
+
+    def score(self, record: "HostRecord") -> float:
+        ...  # pragma: no cover
+
+
+class ExpectedRateRanking:
+    """Score = the CPU rate a new task would receive on the host.
+
+    With ``q`` smoothed runnable tasks plus ``p`` recent (not yet visible)
+    placements on a ``speed × cores`` machine, an additional task runs at
+    ``speed * min(1, cores / (q + p + 1))``.
+    """
+
+    def score(self, record: "HostRecord") -> float:
+        queue = record.run_queue_ewma.value + record.pending_placements
+        denominator = max(1.0, queue + 1.0)
+        return record.speed * min(1.0, record.cores / denominator)
+
+
+class UtilizationRanking:
+    """Score = idle capacity, ``speed * cores * (1 - utilization)``,
+    with recent placements charged one core's worth each."""
+
+    def score(self, record: "HostRecord") -> float:
+        idle = max(0.0, 1.0 - record.utilization_ewma.value)
+        capacity = record.speed * record.cores * idle
+        return capacity - record.pending_placements * record.speed

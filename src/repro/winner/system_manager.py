@@ -1,0 +1,224 @@
+"""The central Winner system manager.
+
+Collects node-manager reports, smooths them, ages them out when a machine
+goes silent, and answers the one question the load-distributing naming
+service asks: *which host is currently best?*
+
+Placement feedback: reports arrive once per interval, so a burst of
+``resolve()`` calls (the manager binding all its workers at start-up) would
+all see the same "best" host.  Winner's scheduler tracks its own placements
+and charges them against a host until fresh measurements reflect the load;
+``note_placement`` reproduces that with a TTL of a couple of report
+intervals."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence, TYPE_CHECKING
+
+from repro.errors import CdrError, ProcessKilled, ServiceError
+from repro.winner.metrics import Ewma
+from repro.winner.protocol import LoadReport, SYSTEM_MANAGER_PORT
+from repro.winner.ranking import ExpectedRateRanking, Ranking
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.host import Host
+    from repro.cluster.network import Network
+    from repro.sim.process import Process
+
+
+@dataclass
+class HostRecord:
+    """Everything the system manager knows about one workstation."""
+
+    host: str
+    speed: float = 1.0
+    cores: int = 1
+    utilization_ewma: Ewma = field(default_factory=lambda: Ewma(alpha=0.5))
+    run_queue_ewma: Ewma = field(default_factory=lambda: Ewma(alpha=0.5))
+    last_report_time: float = -1.0
+    last_seq: int = -1
+    reports_received: int = 0
+    #: placements noted since their TTL; list of expiry times.
+    placement_expiries: list[float] = field(default_factory=list)
+
+    def expire_placements(self, now: float) -> None:
+        self.placement_expiries = [t for t in self.placement_expiries if t > now]
+
+    @property
+    def pending_placements(self) -> int:
+        return len(self.placement_expiries)
+
+
+class SystemManager:
+    """Winner's central collector and host ranker."""
+
+    def __init__(
+        self,
+        host: "Host",
+        network: "Network",
+        port: int = SYSTEM_MANAGER_PORT,
+        ranking: Optional[Ranking] = None,
+        stale_after: float = 3.5,
+        placement_ttl: float = 2.5,
+    ) -> None:
+        self.host = host
+        self.network = network
+        self.port = port
+        self.ranking = ranking or ExpectedRateRanking()
+        #: seconds without a report before a host is presumed dead.
+        self.stale_after = stale_after
+        #: how long a noted placement keeps counting against a host.
+        self.placement_ttl = placement_ttl
+        self.records: dict[str, HostRecord] = {}
+        self._inbox = network.bind(host, port)
+        self._process: "Process" = host.spawn(self._collect(), name="winner-sm")
+        self.reports_received = 0
+
+    # -- collection ------------------------------------------------------------
+
+    def _collect(self):
+        try:
+            while True:
+                datagram = yield self._inbox.get()
+                try:
+                    report = LoadReport.decode(bytes(datagram.payload))
+                except (CdrError, TypeError):
+                    continue
+                self._apply(report)
+        except ProcessKilled:
+            raise
+
+    def _apply(self, report: LoadReport) -> None:
+        record = self.records.get(report.host)
+        if record is None:
+            record = HostRecord(host=report.host)
+            self.records[report.host] = record
+        if report.seq <= record.last_seq:
+            return  # reordered or duplicated datagram
+        record.last_seq = report.seq
+        record.speed = report.speed
+        record.cores = report.cores
+        record.utilization_ewma.update(report.cpu_utilization)
+        record.run_queue_ewma.update(report.run_queue)
+        record.last_report_time = self.host.sim.now
+        record.reports_received += 1
+        self.reports_received += 1
+
+    # -- queries -----------------------------------------------------------------
+
+    def alive_hosts(self) -> list[str]:
+        now = self.host.sim.now
+        return sorted(
+            name
+            for name, record in self.records.items()
+            if now - record.last_report_time <= self.stale_after
+        )
+
+    def is_alive(self, host_name: str) -> bool:
+        record = self.records.get(host_name)
+        if record is None:
+            return False
+        return self.host.sim.now - record.last_report_time <= self.stale_after
+
+    def score(
+        self,
+        host_name: str,
+        run_queue_discount: float = 0.0,
+        placement_discount: int = 0,
+    ) -> float:
+        """Ranking score of one host.
+
+        :param run_queue_discount: runnable tasks to *subtract* before
+            scoring.  A migration policy evaluating the host a service
+            already runs on passes 1.0 so the service's own CPU use does
+            not count against its current home (otherwise every busy
+            service would consider its own host "overloaded" and flap).
+        :param placement_discount: recent placements to ignore likewise
+            (the service under evaluation *is* one of them).
+        """
+        record = self.records.get(host_name)
+        if record is None:
+            return float("-inf")
+        record.expire_placements(self.host.sim.now)
+        if run_queue_discount <= 0.0 and placement_discount <= 0:
+            return self.ranking.score(record)
+        adjusted = HostRecord(
+            host=record.host,
+            speed=record.speed,
+            cores=record.cores,
+            utilization_ewma=Ewma(
+                alpha=1.0,
+                initial=max(
+                    0.0,
+                    record.utilization_ewma.value
+                    - run_queue_discount / record.cores,
+                ),
+            ),
+            run_queue_ewma=Ewma(
+                alpha=1.0,
+                initial=max(
+                    0.0, record.run_queue_ewma.value - run_queue_discount
+                ),
+            ),
+        )
+        kept = list(record.placement_expiries)
+        if placement_discount > 0:
+            kept = kept[: max(0, len(kept) - placement_discount)]
+        adjusted.placement_expiries = kept
+        return self.ranking.score(adjusted)
+
+    def best_host(
+        self,
+        candidates: Optional[Sequence[str]] = None,
+        exclude: Iterable[str] = (),
+    ) -> Optional[str]:
+        """The alive candidate with the highest ranking score.
+
+        Ties break by host name.  Returns None when no candidate is alive.
+        """
+        excluded = set(exclude)
+        pool = list(candidates) if candidates else self.alive_hosts()
+        best_name: Optional[str] = None
+        best_score = float("-inf")
+        for name in sorted(set(pool)):
+            if name in excluded or not self.is_alive(name):
+                continue
+            score = self.score(name)
+            if score > best_score:
+                best_name, best_score = name, score
+        return best_name
+
+    def note_placement(self, host_name: str) -> None:
+        """Record that work was just placed on ``host_name``."""
+        record = self.records.get(host_name)
+        if record is None:
+            raise ServiceError(f"placement on unknown host {host_name!r}")
+        now = self.host.sim.now
+        record.expire_placements(now)
+        record.placement_expiries.append(now + self.placement_ttl)
+
+    def snapshot(self) -> list[dict]:
+        """A stable view of all records (for the CORBA face and reports)."""
+        now = self.host.sim.now
+        rows = []
+        for name in sorted(self.records):
+            record = self.records[name]
+            record.expire_placements(now)
+            rows.append(
+                {
+                    "host": name,
+                    "speed": record.speed,
+                    "cores": record.cores,
+                    "utilization": record.utilization_ewma.value,
+                    "run_queue": record.run_queue_ewma.value,
+                    "score": self.ranking.score(record),
+                    "alive": now - record.last_report_time <= self.stale_after,
+                }
+            )
+        return rows
+
+    def stop(self) -> None:
+        self._process.kill()
+        if self.network.is_bound(self.host.name, self.port):
+            self.network.unbind(self.host.name, self.port)

@@ -1,0 +1,72 @@
+"""Tests for the ASCII plot renderer."""
+
+import pytest
+
+from repro.bench.plotting import ascii_plot
+
+
+def test_plot_contains_markers_and_legend():
+    text = ascii_plot(
+        {
+            "alpha": [(0, 1.0), (2, 2.0), (4, 2.0)],
+            "beta": [(0, 1.0), (2, 1.0), (4, 1.5)],
+        },
+        x_label="hosts",
+        y_label="runtime",
+    )
+    assert "o = alpha" in text
+    assert "x = beta" in text
+    assert "x: hosts" in text
+    assert "y: runtime" in text
+    assert "o" in text and "x" in text
+
+
+def test_plot_orders_series_deterministically():
+    first = ascii_plot({"b": [(0, 1), (1, 2)], "a": [(0, 2), (1, 1)]})
+    second = ascii_plot({"a": [(0, 2), (1, 1)], "b": [(0, 1), (1, 2)]})
+    assert first == second
+
+
+def test_plot_monotone_series_renders_rising_line():
+    text = ascii_plot({"up": [(0, 0.0), (10, 10.0)]}, width=20, height=10)
+    lines = [line for line in text.splitlines() if "|" in line]
+    # First data row (highest y) has its marker to the right of the last's.
+    top = next(line for line in lines if "o" in line)
+    bottom = next(line for line in reversed(lines) if "o" in line)
+    assert top.rindex("o") > bottom.index("o")
+
+
+def test_plot_flat_series_supported():
+    text = ascii_plot({"flat": [(0, 5.0), (1, 5.0)]})
+    assert "flat" in text
+
+
+def test_plot_empty_rejected():
+    with pytest.raises(ValueError):
+        ascii_plot({})
+
+
+def test_axis_labels_show_ranges():
+    text = ascii_plot({"s": [(0, 1.0), (8, 4.0)]})
+    assert "0" in text
+    assert "8" in text
+
+
+def test_single_point_series():
+    text = ascii_plot({"dot": [(1, 1.0)]})
+    assert "o" in text
+    assert "dot" in text
+
+
+def test_many_series_cycle_markers():
+    series = {f"s{i}": [(0, float(i)), (1, float(i))] for i in range(10)}
+    text = ascii_plot(series)
+    for i in range(10):
+        assert f"= s{i}" in text
+
+
+def test_format_table_empty_rows():
+    from repro.bench import format_table
+
+    text = format_table(["a", "b"], [])
+    assert "a" in text and "b" in text

@@ -1,0 +1,107 @@
+"""Tests for Host crash/restart and process binding."""
+
+import pytest
+
+from repro.errors import HostDownError, ProcessKilled
+from repro.cluster import Host
+from repro.sim import Simulator
+
+
+def make_host(speed=1.0, cores=1):
+    sim = Simulator()
+    return sim, Host(sim, 0, "ws00", speed=speed, cores=cores)
+
+
+def test_host_executes_work_at_its_speed():
+    sim, host = make_host(speed=4.0)
+    fut = host.execute(8.0)
+    sim.run()
+    assert fut.succeeded
+    assert sim.now == pytest.approx(2.0)
+
+
+def test_crash_aborts_cpu_work():
+    sim, host = make_host()
+    fut = host.execute(100.0)
+    sim.schedule(1.0, host.crash)
+    sim.run()
+    assert fut.failed
+    assert isinstance(fut.exception, HostDownError)
+
+
+def test_crash_kills_host_processes():
+    sim, host = make_host()
+    witnessed = []
+
+    def daemon():
+        try:
+            yield sim.timeout(1000.0)
+        finally:
+            witnessed.append(sim.now)
+
+    host.spawn(daemon(), name="daemon")
+    sim.schedule(2.0, host.crash)
+    sim.run()
+    assert witnessed == [2.0]
+    assert not host.up
+
+
+def test_execute_on_down_host_fails_immediately():
+    sim, host = make_host()
+    host.crash()
+    fut = host.execute(1.0)
+    assert fut.failed
+    assert isinstance(fut.exception, HostDownError)
+
+
+def test_spawn_on_down_host_raises():
+    sim, host = make_host()
+    host.crash()
+    with pytest.raises(HostDownError):
+        host.spawn(iter(()), name="x")
+
+
+def test_restart_brings_host_back():
+    sim, host = make_host()
+    host.crash()
+    host.restart()
+    assert host.up
+    assert host.incarnation == 1
+    fut = host.execute(1.0)
+    sim.run()
+    assert fut.succeeded
+
+
+def test_crash_listeners_fire_once():
+    sim, host = make_host()
+    crashes = []
+    host.on_crash(lambda h: crashes.append(h.name))
+    host.crash()
+    host.crash()  # idempotent
+    assert crashes == ["ws00"]
+    assert host.crash_count == 1
+
+
+def test_restart_listeners_fire():
+    sim, host = make_host()
+    events = []
+    host.on_restart(lambda h: events.append("up"))
+    host.crash()
+    host.restart()
+    host.restart()  # idempotent
+    assert events == ["up"]
+
+
+def test_processes_after_restart_survive_independently():
+    sim, host = make_host()
+    host.crash()
+    host.restart()
+    done = []
+
+    def worker():
+        yield sim.timeout(1.0)
+        done.append(sim.now)
+
+    host.spawn(worker())
+    sim.run()
+    assert done == [1.0]

@@ -1,0 +1,57 @@
+"""Tests for the command-line interface (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parser_rejects_unknown_config():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["fig3", "--configs", "99/9"])
+
+
+def test_demo_command(capsys):
+    assert main(["--seed", "3", "demo"]) == 0
+    output = capsys.readouterr().out
+    assert "CORBA/Winner" in output
+    assert "runtime" in output
+
+
+def test_fig3_command_small_grid(capsys):
+    assert main(["fig3", "--configs", "30/3", "--bg", "0", "2"]) == 0
+    output = capsys.readouterr().out
+    assert "Fig. 3" in output
+    assert "CORBA/Winner 30/3" in output
+    assert "bg=2" in output
+    assert "hosts with background load" in output  # the ASCII plot
+
+
+def test_table1_command_small_grid(capsys):
+    assert main(["table1", "--iterations", "10000", "30000"]) == 0
+    output = capsys.readouterr().out
+    assert "Table 1" in output
+    assert "overhead" in output
+
+
+def test_recovery_command(capsys):
+    assert main(["recovery"]) == 0
+    output = capsys.readouterr().out
+    assert "recoveries" in output
+    assert "True" in output  # state correct
+
+
+def test_migration_command(capsys):
+    assert main(["migration"]) == 0
+    output = capsys.readouterr().out
+    assert "migration on" in output
+
+
+def test_wan_command(capsys):
+    assert main(["wan"]) == 0
+    output = capsys.readouterr().out
+    assert "federated" in output and "local-only" in output

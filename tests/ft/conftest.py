@@ -1,0 +1,96 @@
+"""Shared wiring for fault-tolerance tests: a runtime with a checkpointable
+Counter service deployed as a replica group."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Runtime, RuntimeConfig
+from repro.ft import FtPolicy
+from repro.ft.checkpointable import CHECKPOINTABLE_IDL
+from repro.orb import compile_idl
+
+COUNTER_IDL = CHECKPOINTABLE_IDL + """
+interface Counter : FT::Checkpointable {
+    long increment(in long by);
+    long value();
+    string host_name();
+    long slow_increment(in long by, in double seconds);
+};
+"""
+
+counter_ns = compile_idl(COUNTER_IDL, name="ft-counter")
+
+
+class CounterImpl(counter_ns.CounterSkeleton):
+    def __init__(self):
+        self._value = 0
+
+    def increment(self, by):
+        self._value += by
+        return self._value
+
+    def slow_increment(self, by, seconds):
+        yield self._host().execute(seconds)
+        self._value += by
+        return self._value
+
+    def value(self):
+        return self._value
+
+    def host_name(self):
+        return self._host().name
+
+    def get_checkpoint(self):
+        return {"value": self._value}
+
+    def restore_from(self, state):
+        self._value = int(state["value"])
+
+
+class FtWorld:
+    """Runtime + Counter service + helpers for FT tests."""
+
+    def __init__(self, num_hosts=5, seed=11, winner_interval=0.5, **config_kwargs):
+        self.runtime = Runtime(
+            RuntimeConfig(
+                num_hosts=num_hosts,
+                seed=seed,
+                winner_interval=winner_interval,
+                checkpoint_processing_work=0.002,
+                **config_kwargs,
+            )
+        ).start()
+        self.sim = self.runtime.sim
+        self.cluster = self.runtime.cluster
+        self.runtime.register_type("Counter", CounterImpl)
+
+    def deploy_counter(self, host=1):
+        """Activate one Counter servant directly on a host; returns IOR."""
+        return self.runtime.orb(host).poa.activate(CounterImpl())
+
+    def proxy(self, ior, key="counter-1", policy=None, **kwargs):
+        return self.runtime.ft_proxy(
+            counter_ns.CounterStub,
+            ior,
+            key=key,
+            type_name="Counter",
+            policy=policy or FtPolicy(),
+            **kwargs,
+        )
+
+    def settle(self, duration=None):
+        self.runtime.settle(duration)
+
+    def run(self, generator, limit=1e6):
+        return self.runtime.run(generator, limit=limit)
+
+
+@pytest.fixture
+def ft_world():
+    return FtWorld()
+
+
+@pytest.fixture
+def make_ft_world():
+    return FtWorld

@@ -1,0 +1,83 @@
+"""Tests for the locate-ping failure detector."""
+
+import pytest
+
+from repro.ft import FailureDetector
+
+from tests.ft.conftest import CounterImpl
+
+
+def test_detector_stays_quiet_for_healthy_target(ft_world):
+    ior = ft_world.deploy_counter(host=1)
+    detector = FailureDetector(ft_world.runtime.orb(0), interval=0.5)
+    suspects = []
+    detector.watch("c1", ior, lambda key, i: suspects.append(key))
+    ft_world.sim.run(until=10.0)
+    assert suspects == []
+    assert detector.pings > 5
+    detector.stop()
+
+
+def test_detector_reports_crash_once(ft_world):
+    ior = ft_world.deploy_counter(host=1)
+    detector = FailureDetector(ft_world.runtime.orb(0), interval=0.5)
+    suspects = []
+    detector.watch("c1", ior, lambda key, i: suspects.append((key, ft_world.sim.now)))
+    ft_world.sim.schedule(3.0, ft_world.cluster.host(1).crash)
+    ft_world.sim.run(until=15.0)
+    assert len(suspects) == 1
+    key, when = suspects[0]
+    assert key == "c1"
+    # Detected within a few intervals of the crash.
+    assert 3.0 < when < 6.0
+
+
+def test_detector_requires_consecutive_misses(ft_world):
+    """A single dropped ping (transient partition) must not raise a suspect."""
+    ior = ft_world.deploy_counter(host=1)
+    detector = FailureDetector(
+        ft_world.runtime.orb(0), interval=1.0, suspect_after=2
+    )
+    suspects = []
+    detector.watch("c1", ior, lambda key, i: suspects.append(key))
+    # Partition briefly around one ping, then heal.
+    ft_world.sim.schedule(0.9, lambda: ft_world.runtime.network.partition("ws00", "ws01"))
+    ft_world.sim.schedule(1.5, lambda: ft_world.runtime.network.heal("ws00", "ws01"))
+    ft_world.sim.run(until=8.0)
+    assert suspects == []
+
+
+def test_detector_watch_multiple_targets(ft_world):
+    ior_a = ft_world.deploy_counter(host=1)
+    ior_b = ft_world.deploy_counter(host=2)
+    detector = FailureDetector(ft_world.runtime.orb(0), interval=0.5)
+    suspects = []
+    detector.watch("a", ior_a, lambda key, i: suspects.append(key))
+    detector.watch("b", ior_b, lambda key, i: suspects.append(key))
+    ft_world.sim.schedule(2.0, ft_world.cluster.host(2).crash)
+    ft_world.sim.run(until=10.0)
+    assert suspects == ["b"]
+
+
+def test_unwatch_stops_reports(ft_world):
+    ior = ft_world.deploy_counter(host=1)
+    detector = FailureDetector(ft_world.runtime.orb(0), interval=0.5)
+    suspects = []
+    detector.watch("c1", ior, lambda key, i: suspects.append(key))
+    detector.unwatch("c1")
+    ft_world.cluster.host(1).crash()
+    ft_world.sim.run(until=6.0)
+    assert suspects == []
+
+
+def test_detector_detects_deactivated_object(ft_world):
+    servant = CounterImpl()
+    ior = ft_world.runtime.orb(1).poa.activate(servant)
+    detector = FailureDetector(ft_world.runtime.orb(0), interval=0.5)
+    suspects = []
+    detector.watch("c1", ior, lambda key, i: suspects.append(key))
+    ft_world.sim.schedule(
+        2.0, lambda: ft_world.runtime.orb(1).poa.deactivate(servant)
+    )
+    ft_world.sim.run(until=8.0)
+    assert suspects == ["c1"]

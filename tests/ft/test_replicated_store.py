@@ -1,0 +1,129 @@
+"""Tests for the replicated checkpoint store (SPOF removal)."""
+
+import pytest
+
+from repro.errors import RecoveryError
+from repro.ft.replicated_store import ReplicatedCheckpointStore
+from repro.services.checkpoint import (
+    CheckpointStoreServant,
+    CheckpointStoreStub,
+    NoCheckpoint,
+)
+
+from tests.ft.conftest import FtWorld
+
+
+@pytest.fixture
+def world():
+    return FtWorld(num_hosts=5, seed=23)
+
+
+def deploy_stores(world, hosts=(1, 2, 3)):
+    servants, stubs = [], []
+    for host in hosts:
+        servant = CheckpointStoreServant(processing_work=0.001)
+        ior = world.runtime.orb(host).poa.activate(servant)
+        servants.append(servant)
+        stubs.append(world.runtime.orb(0).stub(ior, CheckpointStoreStub))
+    return servants, stubs
+
+
+def test_write_goes_to_all_replicas(world):
+    servants, stubs = deploy_stores(world)
+    rstore = ReplicatedCheckpointStore(world.runtime.orb(0), stubs)
+
+    def client():
+        yield rstore.store("k", 1, {"v": 42})
+        return (yield rstore.load("k"))
+
+    assert world.run(client()) == {"v": 42}
+    assert all(servant.stores == 1 for servant in servants)
+    assert rstore.writes == 1
+    assert rstore.degraded_writes == 0
+
+
+def test_read_fails_over_to_surviving_replica(world):
+    servants, stubs = deploy_stores(world)
+    rstore = ReplicatedCheckpointStore(world.runtime.orb(0), stubs)
+
+    def client():
+        yield rstore.store("k", 1, "state")
+        world.cluster.host(1).crash()
+        world.cluster.host(2).crash()
+        return (yield rstore.load("k"))
+
+    assert world.run(client()) == "state"
+    assert rstore.failover_reads >= 1
+
+
+def test_write_succeeds_with_quorum_despite_dead_replica(world):
+    servants, stubs = deploy_stores(world)
+    rstore = ReplicatedCheckpointStore(world.runtime.orb(0), stubs)
+    world.cluster.host(3).crash()
+
+    def client():
+        yield rstore.store("k", 1, "x")
+        return (yield rstore.latest_version("k"))
+
+    assert world.run(client()) == 1
+    assert rstore.degraded_writes == 1
+
+
+def test_write_fails_without_quorum(world):
+    servants, stubs = deploy_stores(world)
+    rstore = ReplicatedCheckpointStore(world.runtime.orb(0), stubs)
+    world.cluster.host(2).crash()
+    world.cluster.host(3).crash()
+
+    def client():
+        try:
+            yield rstore.store("k", 1, "x")
+        except RecoveryError:
+            return "quorum-lost"
+
+    assert world.run(client()) == "quorum-lost"
+
+
+def test_missing_key_still_raises_no_checkpoint(world):
+    _, stubs = deploy_stores(world)
+    rstore = ReplicatedCheckpointStore(world.runtime.orb(0), stubs)
+
+    def client():
+        try:
+            yield rstore.load("ghost")
+        except NoCheckpoint as exc:
+            return exc.key
+
+    assert world.run(client()) == "ghost"
+
+
+def test_quorum_validation(world):
+    _, stubs = deploy_stores(world)
+    with pytest.raises(RecoveryError):
+        ReplicatedCheckpointStore(world.runtime.orb(0), [])
+    with pytest.raises(RecoveryError):
+        ReplicatedCheckpointStore(world.runtime.orb(0), stubs, write_quorum=4)
+    rstore = ReplicatedCheckpointStore(world.runtime.orb(0), stubs)
+    assert rstore.write_quorum == 2  # majority of 3
+
+
+def test_ft_proxy_survives_store_host_crash_with_replication(world):
+    """End to end: the whole FT scheme keeps working after the (formerly
+    single) checkpoint store's host dies."""
+    _, stubs = deploy_stores(world, hosts=(2, 3, 4))
+    rstore = ReplicatedCheckpointStore(world.runtime.orb(0), stubs)
+    ior = world.deploy_counter(host=1)
+    proxy = world.proxy(ior)
+    proxy._ft.store = rstore
+    proxy._ft.recovery.store = rstore
+    world.settle()
+
+    def client():
+        yield proxy.increment(5)
+        world.cluster.host(2).crash()  # one store replica dies
+        yield proxy.increment(5)
+        world.cluster.host(1).crash()  # now the service dies too
+        return (yield proxy.value())
+
+    assert world.run(client()) == 10
+    assert world.runtime.coordinator(0).recoveries == 1

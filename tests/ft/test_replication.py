@@ -1,0 +1,155 @@
+"""Tests for the replication baselines (§3's rejected alternatives)."""
+
+import pytest
+
+from repro.errors import RecoveryError
+from repro.ft import ActiveReplicationGroup, PassiveReplicationGroup
+
+from tests.ft.conftest import counter_ns
+
+
+def deploy_replicas(ft_world, hosts):
+    return [ft_world.deploy_counter(host=h) for h in hosts]
+
+
+# -- active replication ------------------------------------------------------------
+
+
+def test_active_group_returns_first_reply(ft_world):
+    replicas = deploy_replicas(ft_world, [1, 2, 3])
+    group = ActiveReplicationGroup(
+        ft_world.runtime.orb(0), counter_ns.CounterStub, replicas
+    )
+
+    def client():
+        return (yield group.invoke("increment", (5,)))
+
+    assert ft_world.run(client()) == 5
+    assert group.replica_count == 3
+
+
+def test_active_group_masks_failures_without_delay(ft_world):
+    replicas = deploy_replicas(ft_world, [1, 2, 3])
+    group = ActiveReplicationGroup(
+        ft_world.runtime.orb(0), counter_ns.CounterStub, replicas
+    )
+    ft_world.cluster.host(1).crash()
+
+    def client():
+        start = ft_world.sim.now
+        value = yield group.invoke("increment", (1,))
+        return value, ft_world.sim.now - start
+
+    value, elapsed = ft_world.run(client())
+    assert value == 1
+    assert elapsed < 0.1  # no recovery pause: survivors answered
+
+
+def test_active_group_fails_only_when_all_replicas_dead(ft_world):
+    replicas = deploy_replicas(ft_world, [1, 2])
+    group = ActiveReplicationGroup(
+        ft_world.runtime.orb(0), counter_ns.CounterStub, replicas
+    )
+    ft_world.cluster.host(1).crash()
+    ft_world.cluster.host(2).crash()
+
+    def client():
+        try:
+            yield group.invoke("increment", (1,))
+        except Exception as exc:
+            return type(exc).__name__
+
+    assert ft_world.run(client()) == "COMM_FAILURE"
+
+
+def test_active_group_burns_replica_factor_cpu(ft_world):
+    """The paper's resource argument: r replicas execute every call."""
+    replicas = deploy_replicas(ft_world, [1, 2, 3])
+    group = ActiveReplicationGroup(
+        ft_world.runtime.orb(0), counter_ns.CounterStub, replicas
+    )
+
+    def client():
+        for _ in range(4):
+            yield group.invoke("slow_increment", (1, 1.0))
+        yield ft_world.sim.timeout(5.0)  # let slower replicas finish
+
+    ft_world.run(client())
+    busy = sum(
+        ft_world.cluster.host(h).cpu.work_completed for h in (1, 2, 3)
+    )
+    # 4 calls x 1.0 s of work x 3 replicas (plus small dispatch costs).
+    assert busy == pytest.approx(12.0, rel=0.1)
+
+
+def test_active_group_needs_replicas(ft_world):
+    with pytest.raises(RecoveryError):
+        ActiveReplicationGroup(ft_world.runtime.orb(0), counter_ns.CounterStub, [])
+
+
+# -- passive replication -----------------------------------------------------------
+
+
+def test_passive_group_uses_primary_and_syncs_backups(ft_world):
+    replicas = deploy_replicas(ft_world, [1, 2, 3])
+    group = PassiveReplicationGroup(
+        ft_world.runtime.orb(0), counter_ns.CounterStub, replicas
+    )
+
+    def client():
+        yield group.invoke("increment", (5,))
+        yield group.invoke("increment", (5,))
+        return group.primary_host
+
+    assert ft_world.run(client()) == "ws01"
+    assert group.state_transfers == 4  # 2 calls x 2 backups
+
+
+def test_passive_group_promotes_backup_with_state(ft_world):
+    replicas = deploy_replicas(ft_world, [1, 2, 3])
+    group = PassiveReplicationGroup(
+        ft_world.runtime.orb(0), counter_ns.CounterStub, replicas
+    )
+
+    def client():
+        yield group.invoke("increment", (10,))
+        ft_world.cluster.host(1).crash()
+        value = yield group.invoke("increment", (1,))
+        return value, group.primary_host, group.promotions
+
+    value, primary, promotions = ft_world.run(client())
+    # Backup was synced to 10 before the crash; promoted and incremented.
+    assert value == 11
+    assert primary == "ws02"
+    assert promotions == 1
+
+
+def test_passive_group_exhausts_replicas(ft_world):
+    replicas = deploy_replicas(ft_world, [1, 2])
+    group = PassiveReplicationGroup(
+        ft_world.runtime.orb(0), counter_ns.CounterStub, replicas
+    )
+    ft_world.cluster.host(1).crash()
+    ft_world.cluster.host(2).crash()
+
+    def client():
+        try:
+            yield group.invoke("increment", (1,))
+        except RecoveryError:
+            return "exhausted"
+
+    assert ft_world.run(client()) == "exhausted"
+
+
+def test_passive_group_survives_dead_backup(ft_world):
+    replicas = deploy_replicas(ft_world, [1, 2, 3])
+    group = PassiveReplicationGroup(
+        ft_world.runtime.orb(0), counter_ns.CounterStub, replicas
+    )
+    ft_world.cluster.host(3).crash()  # a backup, not the primary
+
+    def client():
+        return (yield group.invoke("increment", (2,)))
+
+    assert ft_world.run(client()) == 2
+    assert group.state_transfers == 1  # only the live backup synced

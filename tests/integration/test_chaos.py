@@ -1,0 +1,113 @@
+"""Chaos testing: random crash/restart storms against the FT runtime.
+
+A client keeps calling a checkpointable counter through a fault-tolerance
+proxy while random worker hosts crash and restart (ws00, which hosts the
+client and the infrastructure services, is spared — the paper's deployment
+likewise keeps naming/store on a stable machine).  Invariant: the final
+counter equals the number of *successful* client calls — the
+checkpoint-after-call + retry semantics never lose or duplicate an update,
+no matter the failure schedule."""
+
+import pytest
+
+from repro.errors import RecoveryError
+from repro.ft import FtPolicy
+
+from tests.ft.conftest import FtWorld
+
+
+@pytest.mark.parametrize("seed", [3, 17, 99])
+def test_counter_exact_under_random_crash_storm(seed):
+    world = FtWorld(num_hosts=6, seed=seed, auto_heal_delay=0.5)
+    rng = world.sim.rng("chaos")
+    ior = world.deploy_counter(host=1)
+    proxy = world.proxy(
+        ior, policy=FtPolicy(max_call_retries=5, retry_backoff=0.2)
+    )
+    world.settle()
+
+    # Schedule a storm: 8 crash events on random non-ws00 hosts, half of
+    # them followed by a restart (auto-heal re-registers the host).
+    horizon = 40.0
+    for index in range(8):
+        host_index = int(rng.integers(1, 6))
+        at = float(rng.uniform(1.0, horizon))
+        host_name = f"ws{host_index:02d}"
+
+        def crash(name=host_name):
+            host = world.cluster.host(name)
+            if host.up:
+                host.crash()
+
+        def restart(name=host_name):
+            host = world.cluster.host(name)
+            if not host.up:
+                host.restart()
+
+        world.sim.schedule_at(at, crash)
+        if index % 2 == 0:
+            world.sim.schedule_at(at + float(rng.uniform(2.0, 5.0)), restart)
+
+    outcome = {}
+
+    def client():
+        succeeded = 0
+        failed = 0
+        for _ in range(60):
+            try:
+                yield proxy.slow_increment(1, 0.3)
+                succeeded += 1
+            except RecoveryError:
+                failed += 1
+            yield world.sim.timeout(0.2)
+        final = yield proxy.value()
+        outcome.update(succeeded=succeeded, failed=failed, final=final)
+
+    world.run(client(), limit=1e5)
+    assert outcome["final"] == outcome["succeeded"]
+    assert outcome["succeeded"] >= 50  # the storm must not starve progress
+    # The storm actually did something.
+    crashes = sum(host.crash_count for host in world.cluster)
+    assert crashes >= 4
+
+
+def test_storm_with_migration_policy_running():
+    """Recovery and the migration policy may fire concurrently; state must
+    still be exact."""
+    from repro.cluster import BackgroundLoad
+    from repro.ft import MigrationPolicy
+
+    world = FtWorld(num_hosts=6, seed=8, auto_heal_delay=0.5)
+    ior = world.deploy_counter(host=1)
+    proxy = world.proxy(ior, policy=FtPolicy(max_call_retries=5, retry_backoff=0.2))
+    world.settle()
+    policy = MigrationPolicy(
+        proxy, world.runtime.naming_stub(0), world.runtime.system_manager,
+        interval=1.0,
+    ).start()
+
+    # Load shifts + a crash while calls stream.
+    world.sim.schedule(3.0, lambda: BackgroundLoad(
+        world.cluster.host(proxy.ior.host), intensity=2, chunk=0.25
+    ).start())
+    world.sim.schedule(8.0, lambda: world.cluster.host(proxy.ior.host).crash()
+                       if proxy.ior.host != "ws00" else None)
+
+    outcome = {}
+
+    def client():
+        succeeded = 0
+        for _ in range(40):
+            try:
+                yield proxy.slow_increment(1, 0.2)
+                succeeded += 1
+            except RecoveryError:
+                pass
+            yield world.sim.timeout(0.15)
+        final = yield proxy.value()
+        outcome.update(succeeded=succeeded, final=final)
+
+    world.run(client(), limit=1e5)
+    policy.stop()
+    assert outcome["final"] == outcome["succeeded"]
+    assert outcome["succeeded"] == 40  # nothing was lost in this scenario

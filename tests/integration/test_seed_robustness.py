@@ -1,0 +1,46 @@
+"""Seed-sweep robustness: the paper's qualitative claims must hold for
+*any* seed, not a cherry-picked one.  Runs a reduced Fig. 3 grid at three
+seeds and asserts the shape each time."""
+
+import pytest
+
+from repro.bench import fig3_curves, fig3_sweep
+from repro.opt import WorkerSettings
+
+FAST = WorkerSettings(work_per_eval_per_dim=2e-7, real_iteration_cap=32)
+
+
+@pytest.mark.parametrize("seed", [1, 42, 12345])
+def test_fig3_shape_holds_across_seeds(seed):
+    points = fig3_sweep(
+        configs=("30/3",),
+        background_hosts=(0, 2, 6),
+        worker_iterations=30_000,
+        manager_iterations=6,
+        settings=FAST,
+        seed=seed,
+    )
+    curves = fig3_curves(points)
+    baseline = {p.background_hosts: p.runtime for p in curves[("CORBA", "30/3")]}
+    winner = {p.background_hosts: p.runtime for p in curves[("CORBA/Winner", "30/3")]}
+    # Equal at zero load; flat while free hosts remain; never worse.
+    assert winner[0] == pytest.approx(baseline[0], rel=0.1)
+    assert winner[2] == pytest.approx(winner[0], rel=0.1)
+    assert baseline[2] > winner[2] * 1.5
+    for bg in baseline:
+        assert winner[bg] <= baseline[bg] * 1.05
+
+
+@pytest.mark.parametrize("seed", [1, 42, 12345])
+def test_numeric_optimum_varies_with_seed_but_stays_finite(seed):
+    points = fig3_sweep(
+        configs=("30/3",),
+        background_hosts=(0,),
+        worker_iterations=10_000,
+        manager_iterations=6,
+        settings=FAST,
+        seed=seed,
+    )
+    funs = {p.fun for p in points}
+    assert len(funs) == 1  # strategy-independent within a seed
+    assert all(0.0 <= fun < 1e5 for fun in funs)

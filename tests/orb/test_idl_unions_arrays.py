@@ -1,0 +1,207 @@
+"""Tests for IDL unions and fixed-size arrays."""
+
+import pytest
+
+from repro.errors import CdrError, IdlSemanticError, IdlSyntaxError
+from repro.orb import typecodes as tc
+from repro.orb.cdr import (
+    CdrInputStream,
+    CdrOutputStream,
+    GenericUnion,
+    decode_any,
+)
+from repro.orb.idl import compile_idl, parse_idl
+
+UNION_IDL = """
+module demo {
+  enum Kind { OK, ERR };
+  union Outcome switch (Kind) {
+    case OK: double value;
+    case ERR: string message;
+  };
+  union Tagged switch (long) {
+    case 1: case 2: long small;
+    default: string other;
+  };
+  union Flag switch (boolean) {
+    case TRUE: string yes;
+    case FALSE: long no;
+  };
+};
+"""
+
+ns = compile_idl(UNION_IDL, name="union-test")
+
+
+def roundtrip(typecode, value):
+    out = CdrOutputStream()
+    out.write_value(typecode, value)
+    stream = CdrInputStream(out.getvalue())
+    result = stream.read_value(typecode)
+    assert stream.remaining() == 0
+    return result
+
+
+# -- unions ------------------------------------------------------------------
+
+
+def test_union_roundtrip_each_case():
+    ok = ns.Outcome(ns.Kind.OK, 2.5)
+    err = ns.Outcome(ns.Kind.ERR, "boom")
+    assert roundtrip(ns.Outcome.__tc__, ok) == ok
+    assert roundtrip(ns.Outcome.__tc__, err) == err
+
+
+def test_union_multiple_labels_share_member():
+    assert roundtrip(ns.Tagged.__tc__, ns.Tagged(1, 10)) == ns.Tagged(1, 10)
+    assert roundtrip(ns.Tagged.__tc__, ns.Tagged(2, 20)) == ns.Tagged(2, 20)
+
+
+def test_union_default_case():
+    other = ns.Tagged(42, "fallthrough")
+    assert roundtrip(ns.Tagged.__tc__, other) == other
+
+
+def test_union_boolean_discriminator():
+    assert roundtrip(ns.Flag.__tc__, ns.Flag(True, "y")) == ns.Flag(True, "y")
+    assert roundtrip(ns.Flag.__tc__, ns.Flag(False, 0)) == ns.Flag(False, 0)
+
+
+def test_union_no_matching_case_rejected():
+    out = CdrOutputStream()
+    with pytest.raises(CdrError, match="no case"):
+        out.write_value(ns.Outcome.__tc__, ns.Outcome(7, 1.0))
+
+
+def test_union_wrong_member_type_rejected():
+    out = CdrOutputStream()
+    with pytest.raises(CdrError):
+        out.write_value(ns.Outcome.__tc__, ns.Outcome(ns.Kind.OK, "not-a-double"))
+
+
+def test_union_value_shape_checked():
+    out = CdrOutputStream()
+    with pytest.raises(CdrError, match="discriminator"):
+        out.write_value(ns.Outcome.__tc__, {"not": "a union"})
+
+
+def test_union_typecode_travels_in_any():
+    out = CdrOutputStream()
+    out.write_typecode(ns.Outcome.__tc__)
+    decoded_tc = CdrInputStream(out.getvalue()).read_typecode()
+    assert decoded_tc.kind is tc.TCKind.UNION
+    assert decoded_tc.name == "demo::Outcome"
+    assert decoded_tc.labels == ns.Outcome.__tc__.labels
+    # A value decoded with the wire typecode (unregistered name spoofed)
+    # falls back to GenericUnion.
+    from repro.orb import typecodes as tcm
+
+    anon = tcm.union(
+        "never::Registered", tcm.TC_LONG, [(1, "a", tcm.TC_LONG)]
+    )
+    out2 = CdrOutputStream()
+    out2.write_value(anon, ns.Tagged(1, 5))
+    decoded = CdrInputStream(out2.getvalue()).read_value(anon)
+    assert isinstance(decoded, GenericUnion)
+    assert decoded.value == 5
+
+
+def test_union_over_the_orb(world):
+    orb_ns = compile_idl(
+        UNION_IDL
+        + """
+        interface Runner {
+            demo::Outcome attempt(in boolean fail);
+        };
+        """,
+        name="union-orb-test",
+    )
+
+    class RunnerImpl(orb_ns.RunnerSkeleton):
+        def attempt(self, fail):
+            if fail:
+                return orb_ns.Outcome(orb_ns.Kind.ERR, "failed as asked")
+            return orb_ns.Outcome(orb_ns.Kind.OK, 1.25)
+
+    ior = world.orb(1).poa.activate(RunnerImpl())
+    stub = world.orb(0).stub(ior, orb_ns.RunnerStub)
+
+    def client():
+        good = yield stub.attempt(False)
+        bad = yield stub.attempt(True)
+        return good, bad
+
+    good, bad = world.run(client())
+    assert good.discriminator == orb_ns.Kind.OK and good.value == 1.25
+    assert bad.discriminator == orb_ns.Kind.ERR and bad.value == "failed as asked"
+
+
+def test_union_semantic_errors():
+    with pytest.raises(IdlSemanticError, match="case label"):
+        compile_idl(
+            """
+            struct S { long x; };
+            union U switch (long) { case S: long a; };
+            """
+        )
+    with pytest.raises(IdlSyntaxError):
+        compile_idl("union U switch (long) { };")
+    with pytest.raises(IdlSyntaxError, match="default"):
+        compile_idl(
+            "union U switch (long) { default: long a; default: long b; };"
+        )
+
+
+# -- arrays -------------------------------------------------------------------
+
+
+def test_typedef_array_roundtrip():
+    arr_ns = compile_idl(
+        """
+        typedef double Vec3[3];
+        struct P { Vec3 position; };
+        """,
+        name="array-test",
+    )
+    value = arr_ns.P(position=[1.0, 2.0, 3.0])
+    result = roundtrip(arr_ns.P.__tc__, value)
+    assert list(result.position) == [1.0, 2.0, 3.0]
+
+
+def test_member_array_declarator():
+    arr_ns = compile_idl(
+        "struct M { long counts[4]; string names[2]; };", name="array-member"
+    )
+    value = arr_ns.M(counts=[1, 2, 3, 4], names=["a", "b"])
+    result = roundtrip(arr_ns.M.__tc__, value)
+    assert result.counts == [1, 2, 3, 4]
+    assert result.names == ["a", "b"]
+
+
+def test_array_length_validation():
+    with pytest.raises(IdlSyntaxError):
+        parse_idl("typedef double Bad[0];")
+    with pytest.raises(IdlSyntaxError):
+        parse_idl("typedef double Bad[x];")
+
+
+def test_array_in_operation_signature(world):
+    arr_ns = compile_idl(
+        """
+        typedef double Triple[3];
+        interface Geom { double norm1(in Triple v); };
+        """,
+        name="array-op",
+    )
+
+    class GeomImpl(arr_ns.GeomSkeleton):
+        def norm1(self, v):
+            return float(sum(abs(x) for x in v))
+
+    ior = world.orb(1).poa.activate(GeomImpl())
+    stub = world.orb(0).stub(ior, arr_ns.GeomStub)
+
+    def client():
+        return (yield stub.norm1([1.0, -2.0, 3.0]))
+
+    assert world.run(client()) == 6.0

@@ -1,0 +1,97 @@
+"""Golden wire-format tests.
+
+Freeze the byte-level CDR/GIOP encodings with literal hex so accidental
+format changes (alignment, field order, header layout) are caught even
+when both encoder and decoder change together."""
+
+import binascii
+
+import pytest
+
+from repro.orb import giop
+from repro.orb import typecodes as tc
+from repro.orb.cdr import CdrOutputStream, encode_any
+from repro.orb.ior import IOR
+
+
+def hexdump(data: bytes) -> str:
+    return binascii.hexlify(data).decode("ascii")
+
+
+def test_primitive_alignment_golden():
+    out = CdrOutputStream()
+    out.write_octet(0x01)
+    out.write_short(0x0203)      # aligned to 2
+    out.write_long(0x04050607)   # aligned to 4
+    out.write_double(1.0)        # aligned to 8
+    assert hexdump(out.getvalue()) == (
+        "01" "00" "0203"        # octet + 1 pad + short
+        "04050607"              # long (already at offset 4)
+        "3ff0000000000000"      # double lands at offset 8: no padding
+    )
+
+
+def test_string_encoding_golden():
+    out = CdrOutputStream()
+    out.write_string("hi")
+    # ulong length 3 (includes NUL), 'h', 'i', NUL.
+    assert hexdump(out.getvalue()) == "00000003" "6869" "00"
+
+
+def test_sequence_double_golden():
+    out = CdrOutputStream()
+    out.write_value(tc.sequence(tc.TC_DOUBLE), [1.0, -2.0])
+    assert hexdump(out.getvalue()) == (
+        "00000002"
+        "00000000"  # pad to 8
+        "3ff0000000000000"
+        "c000000000000000"
+    )
+
+
+def test_ior_encoding_golden():
+    ior = IOR("IDL:T:1.0", "ws01", 20000, b"k", 3)
+    out = CdrOutputStream()
+    out.write_ior(ior)
+    expected = (
+        "0000000a" + hexdump(b"IDL:T:1.0") + "00"  # type_id string
+        + "0000"                                   # pad to 4
+        + "00000005" + hexdump(b"ws01") + "00"     # host string
+        + "000000"                                 # pad to 4
+        + "00004e20"                               # port 20000
+        + "00000001" + hexdump(b"k")               # object key octets
+        + "000000"                                 # pad to 4
+        + "00000003"                               # incarnation
+    )
+    assert hexdump(out.getvalue()) == expected
+
+
+def test_giop_header_golden():
+    raw = giop.encode_message(giop.ResetMessage(7, "x"))
+    assert raw.startswith(b"sGIO")
+    assert raw[4:6] == b"\x01\x00"  # version 1.0
+    assert raw[6] == giop.MsgType.RESET
+    assert hexdump(raw[8:12]) == "00000007"  # request id (aligned to 4)
+
+
+def test_request_message_stable_size():
+    message = giop.RequestMessage(
+        request_id=1,
+        response_expected=True,
+        object_key=b"Calc:000001",
+        operation="solve",
+        target_incarnation=2,
+        reply_host="ws00",
+        reply_port=20000,
+        body=b"\x00" * 16,
+    )
+    raw = giop.encode_message(message)
+    # Frozen: header(7) + pad + id(4) + flag(1) + pad(3) + key(4+11) +
+    # pad(1) + op(4+6) + pad(2) + incarnation(4) + host(4+5) + pad(3) +
+    # port(4) + body(4+16).
+    assert len(raw) == 84
+
+
+def test_any_encoding_golden_for_int():
+    # kind byte LONGLONG (8), pad to 8, value.
+    assert hexdump(encode_any(5)) == "08" "00000000000000" "0000000000000005"

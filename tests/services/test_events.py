@@ -1,0 +1,148 @@
+"""Tests for the event service and load alarms."""
+
+import pytest
+
+from repro.cluster import BackgroundLoad
+from repro.services.events import (
+    CollectingConsumer,
+    EventChannelServant,
+    EventChannelStub,
+    LoadAlarmPublisher,
+)
+from repro.winner import NodeManager, SystemManager
+
+
+def setup_channel(world, consumer_hosts=(1, 2)):
+    channel = EventChannelServant()
+    channel_ior = world.orb(0).poa.activate(channel)
+    channel_stub = world.orb(0).stub(channel_ior, EventChannelStub)
+    consumers = []
+    for host in consumer_hosts:
+        consumer = CollectingConsumer()
+        ior = world.orb(host).poa.activate(consumer)
+        consumers.append((consumer, ior))
+
+    def connect():
+        for _, ior in consumers:
+            yield channel_stub.connect_consumer(ior)
+
+    world.run(connect())
+    return channel, channel_ior, channel_stub, consumers
+
+
+def test_push_fans_out_to_all_consumers(world):
+    channel, _, stub, consumers = setup_channel(world)
+
+    def client():
+        yield stub.push({"event": "hello"})
+        yield world.sim.timeout(0.1)  # let oneway deliveries land
+
+    world.run(client())
+    for consumer, _ in consumers:
+        assert consumer.received == [{"event": "hello"}]
+    assert channel.events_delivered == 2
+
+
+def test_disconnect_stops_delivery(world):
+    channel, _, stub, consumers = setup_channel(world)
+
+    def client():
+        yield stub.disconnect_consumer(consumers[0][1])
+        yield stub.push("after-disconnect")
+        yield world.sim.timeout(0.1)
+        return (yield stub.consumer_count())
+
+    assert world.run(client()) == 1
+    assert consumers[0][0].received == []
+    assert consumers[1][0].received == ["after-disconnect"]
+
+
+def test_push_without_consumers_counts_dropped(world):
+    channel = EventChannelServant()
+    channel_ior = world.orb(0).poa.activate(channel)
+    stub = world.orb(0).stub(channel_ior, EventChannelStub)
+
+    def client():
+        yield stub.push("void")
+        yield world.sim.timeout(0.1)  # oneway: wait for server dispatch
+
+    world.run(client())
+    assert channel.events_dropped == 1
+
+
+def test_duplicate_connect_ignored(world):
+    _, _, stub, consumers = setup_channel(world, consumer_hosts=(1,))
+
+    def client():
+        yield stub.connect_consumer(consumers[0][1])
+        return (yield stub.consumer_count())
+
+    assert world.run(client()) == 1
+
+
+def test_prune_removes_dead_consumers(world):
+    channel, _, stub, consumers = setup_channel(world)
+    world.host(1).crash()
+
+    def client():
+        removed = yield stub.prune_dead_consumers()
+        count = yield stub.consumer_count()
+        return removed, count
+
+    assert world.run(client()) == (1, 1)
+
+
+def test_channel_chaining_channels_are_consumers(world):
+    """EventChannel derives from PushConsumer: channels can be chained."""
+    upstream = EventChannelServant()
+    upstream_ior = world.orb(0).poa.activate(upstream)
+    downstream = EventChannelServant()
+    downstream_ior = world.orb(1).poa.activate(downstream)
+    sink = CollectingConsumer()
+    sink_ior = world.orb(2).poa.activate(sink)
+    up_stub = world.orb(0).stub(upstream_ior, EventChannelStub)
+    down_stub = world.orb(0).stub(downstream_ior, EventChannelStub)
+
+    def client():
+        yield up_stub.connect_consumer(downstream_ior)
+        yield down_stub.connect_consumer(sink_ior)
+        yield up_stub.push(42)
+        yield world.sim.timeout(0.2)
+
+    world.run(client())
+    assert sink.received == [42]
+
+
+def test_load_alarm_publisher_detects_overload_and_recovery(make_world):
+    world = make_world(num_hosts=4, seed=2)
+    manager = SystemManager(world.host(0), world.network)
+    for index in range(4):
+        NodeManager(
+            world.host(index), world.network, manager_host="ws00", interval=0.5
+        ).start()
+    channel = EventChannelServant()
+    channel_ior = world.orb(0).poa.activate(channel)
+    sink = CollectingConsumer()
+    sink_ior = world.orb(1).poa.activate(sink)
+
+    def connect():
+        stub = world.orb(0).stub(channel_ior, EventChannelStub)
+        yield stub.connect_consumer(sink_ior)
+
+    world.run(connect())
+    publisher = LoadAlarmPublisher(
+        world.orb(0), manager, channel_ior, threshold=0.8, interval=0.5
+    ).start()
+
+    load = BackgroundLoad(world.host(2), intensity=2, chunk=0.25)
+    world.sim.schedule(2.0, load.start)
+    world.sim.schedule(12.0, load.stop)
+    world.sim.run(until=25.0)
+    publisher.stop()
+
+    kinds = [(event["kind"], event["host"]) for event in sink.received]
+    assert ("overload", "ws02") in kinds
+    assert ("recovered", "ws02") in kinds
+    assert kinds.index(("overload", "ws02")) < kinds.index(("recovered", "ws02"))
+    # No alarms for the idle hosts.
+    assert all(host == "ws02" for _, host in kinds)

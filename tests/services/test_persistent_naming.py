@@ -1,0 +1,122 @@
+"""Tests for the checkpointable naming context (FT applied to itself)."""
+
+import pytest
+
+from repro.orb import compile_idl
+from repro.services.naming import idl, name_from_string
+from repro.services.naming.persistent import (
+    FtNamingContextServant,
+    FtNamingContextStub,
+)
+
+echo_ns = compile_idl("interface PEcho { string hi(); };", name="pecho")
+
+
+class PEchoImpl(echo_ns.PEchoSkeleton):
+    def hi(self):
+        return f"hi from {self._host().name}"
+
+
+def populate(world, stub):
+    """Bind a plain name, a sub-context and a service group."""
+    target_a = world.orb(1).poa.activate(PEchoImpl())
+    target_b = world.orb(2).poa.activate(PEchoImpl())
+
+    def setup():
+        yield stub.bind(name_from_string("plain.obj"), target_a)
+        yield stub.bind_new_context(name_from_string("sub"))
+        yield stub.bind(name_from_string("sub/deep.obj"), target_b)
+        yield stub.bind_service(name_from_string("group.service"), target_a)
+        yield stub.bind_service(name_from_string("group.service"), target_b)
+
+    world.run(setup())
+    return target_a, target_b
+
+
+def test_checkpoint_roundtrip_preserves_all_binding_kinds(world):
+    original = FtNamingContextServant()
+    original_ior = world.orb(0).poa.activate(original)
+    stub = world.orb(0).stub(original_ior, FtNamingContextStub)
+    target_a, target_b = populate(world, stub)
+
+    # Snapshot over the wire, restore into a brand-new instance elsewhere.
+    standby = FtNamingContextServant()
+    standby_ior = world.orb(1).poa.activate(standby)
+    standby_stub = world.orb(0).stub(standby_ior, FtNamingContextStub)
+
+    def transfer_and_verify():
+        state = yield stub.get_checkpoint()
+        yield standby_stub.restore_from(state)
+        plain = yield standby_stub.resolve(name_from_string("plain.obj"))
+        deep = yield standby_stub.resolve(name_from_string("sub/deep.obj"))
+        count = yield standby_stub.replica_count(name_from_string("group.service"))
+        return plain, deep, count
+
+    plain, deep, count = world.run(transfer_and_verify())
+    assert plain == target_a
+    assert deep == target_b
+    assert count == 2
+
+
+def test_standby_takes_over_after_primary_host_crash(make_world):
+    world = make_world(num_hosts=4)
+    primary = FtNamingContextServant()
+    primary_ior = world.orb(3).poa.activate(primary)  # naming on ws03
+    stub = world.orb(0).stub(primary_ior, FtNamingContextStub)
+    target_a, _ = populate(world, stub)  # targets on ws01/ws02
+
+    def run():
+        # Periodic checkpoint to the client (a standby keeper).
+        state = yield stub.get_checkpoint()
+        world.host(3).crash()  # the naming service's host dies
+        # Cold-start a standby from the last checkpoint.
+        standby = FtNamingContextServant()
+        standby_ior = world.orb(2).poa.activate(standby)
+        standby_stub = world.orb(0).stub(standby_ior, FtNamingContextStub)
+        yield standby_stub.restore_from(state)
+        resolved = yield standby_stub.resolve(name_from_string("plain.obj"))
+        echo = world.orb(0).stub(resolved, echo_ns.PEchoStub)
+        return (yield echo.hi())
+
+    assert world.run(run()) == "hi from ws01"
+
+
+def test_narrowing_to_base_interfaces(world):
+    servant = FtNamingContextServant()
+    ior = world.orb(0).poa.activate(servant)
+    # The FT context narrows to every base facet.
+    world.orb(0).stub(ior, idl.NamingContextStub)
+    world.orb(0).stub(ior, idl.LoadDistributingNamingContextStub)
+    from repro.ft.checkpointable import CheckpointableStub
+
+    world.orb(0).stub(ior, CheckpointableStub)
+
+
+def test_restore_is_idempotent_and_replaces_state(world):
+    servant = FtNamingContextServant()
+    ior = world.orb(0).poa.activate(servant)
+    stub = world.orb(0).stub(ior, FtNamingContextStub)
+    target_a, _ = populate(world, stub)
+
+    def run():
+        state = yield stub.get_checkpoint()
+        # Mutate after the snapshot...
+        yield stub.unbind(name_from_string("plain.obj"))
+        yield stub.bind(name_from_string("new.obj"), target_a)
+        # ...then roll back.
+        yield stub.restore_from(state)
+        plain = yield stub.resolve(name_from_string("plain.obj"))
+        try:
+            yield stub.resolve(name_from_string("new.obj"))
+        except idl.NotFound:
+            return plain
+
+    assert world.run(run()) == target_a
+
+
+def test_empty_context_checkpoint(world):
+    servant = FtNamingContextServant()
+    state = servant.get_checkpoint()
+    assert state == {"bindings": [], "groups": []}
+    servant.restore_from(state)
+    assert len(servant._bindings) == 0

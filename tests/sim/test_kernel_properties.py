@@ -1,0 +1,115 @@
+"""Property-based tests of the simulation kernel's core invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import ProcessorSharingCPU, Simulator
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=50.0),  # arrival time
+            st.floats(min_value=0.01, max_value=20.0),  # work
+        ),
+        min_size=1,
+        max_size=12,
+    )
+)
+def test_processor_sharing_conserves_work(jobs):
+    """All submitted work completes, exactly once, regardless of overlap."""
+    sim = Simulator()
+    cpu = ProcessorSharingCPU(sim, speed=1.0)
+    futures = []
+    for arrival, work in jobs:
+        sim.schedule(arrival, lambda w=work: futures.append(cpu.execute(w)))
+    sim.run()
+    total = sum(work for _, work in jobs)
+    assert cpu.work_completed == pytest.approx(total, rel=1e-6)
+    assert all(f.succeeded for f in futures)
+    assert cpu.run_queue_length == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=50.0),
+            st.floats(min_value=0.01, max_value=20.0),
+        ),
+        min_size=1,
+        max_size=10,
+    )
+)
+def test_processor_sharing_makespan_bounds(jobs):
+    """Makespan >= max(arrival + work run alone) and >= total work after
+    the first arrival; <= last arrival + total work."""
+    sim = Simulator()
+    cpu = ProcessorSharingCPU(sim, speed=1.0)
+    for arrival, work in jobs:
+        sim.schedule(arrival, lambda w=work: cpu.execute(w))
+    finished_at = sim.run()
+    lower_per_job = max(arrival + work for arrival, work in jobs)
+    upper = max(a for a, _ in jobs) + sum(w for _, w in jobs)
+    assert finished_at >= lower_per_job - 1e-6
+    assert finished_at <= upper + 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=20),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_event_execution_order_is_time_then_fifo(delays, seed):
+    sim = Simulator(seed=seed)
+    fired = []
+    for index, delay in enumerate(delays):
+        sim.schedule(delay, lambda i=index, d=delay: fired.append((d, i)))
+    sim.run()
+    # Sorted by (time, insertion order).
+    assert fired == sorted(fired)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.floats(min_value=0.001, max_value=5.0), min_size=1, max_size=8)
+)
+def test_process_timeout_chain_sums_delays(delays):
+    sim = Simulator()
+
+    def proc():
+        for delay in delays:
+            yield sim.timeout(delay)
+        return sim.now
+
+    process = sim.spawn(proc())
+    sim.run()
+    assert process.value == pytest.approx(sum(delays))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=1, max_value=30), st.integers(min_value=0, max_value=2**31 - 1))
+def test_identical_seeds_give_identical_runs(n_events, seed):
+    """Full determinism: two simulators with the same seed and the same
+    (randomized) workload finish at the same time with the same trace."""
+
+    def run():
+        sim = Simulator(seed=seed)
+        rng = sim.rng("prop")
+        cpu = ProcessorSharingCPU(sim, speed=1.0)
+        log = []
+        for _ in range(n_events):
+            at = float(rng.uniform(0, 10))
+            work = float(rng.uniform(0.01, 2.0))
+            sim.schedule(
+                at,
+                lambda w=work: cpu.execute(w).add_done_callback(
+                    lambda f: log.append(round(sim.now, 12))
+                ),
+            )
+        end = sim.run()
+        return end, log
+
+    assert run() == run()

@@ -1,0 +1,199 @@
+"""Tests for the processor-sharing CPU."""
+
+import pytest
+
+from repro.errors import ComputeAborted, SimulationError
+from repro.sim import ProcessorSharingCPU, Simulator
+
+
+def make_cpu(speed=1.0, cores=1):
+    sim = Simulator()
+    return sim, ProcessorSharingCPU(sim, speed=speed, cores=cores)
+
+
+def test_single_task_duration_is_work_over_speed():
+    sim, cpu = make_cpu(speed=2.0)
+    fut = cpu.execute(10.0)
+    sim.run()
+    assert fut.succeeded
+    assert sim.now == pytest.approx(5.0)
+
+
+def test_two_equal_tasks_share_the_cpu():
+    sim, cpu = make_cpu(speed=1.0)
+    a = cpu.execute(10.0)
+    b = cpu.execute(10.0)
+    sim.run()
+    # Each runs at rate 1/2 -> both finish at t=20.
+    assert a.succeeded and b.succeeded
+    assert sim.now == pytest.approx(20.0)
+
+
+def test_short_task_finishes_first_then_long_speeds_up():
+    sim, cpu = make_cpu(speed=1.0)
+    long = cpu.execute(10.0)
+    short = cpu.execute(2.0)
+    done_times = {}
+    long.add_done_callback(lambda f: done_times.__setitem__("long", sim.now))
+    short.add_done_callback(lambda f: done_times.__setitem__("short", sim.now))
+    sim.run()
+    # Shared until short completes: short needs 2 units at rate 1/2 -> t=4.
+    # Long then has 10-2=8 left at full rate -> t=12.
+    assert done_times["short"] == pytest.approx(4.0)
+    assert done_times["long"] == pytest.approx(12.0)
+
+
+def test_late_arrival_slows_running_task():
+    sim, cpu = make_cpu(speed=1.0)
+    first = cpu.execute(10.0)
+    done = {}
+    first.add_done_callback(lambda f: done.__setitem__("first", sim.now))
+    sim.schedule(5.0, lambda: cpu.execute(10.0))
+    sim.run()
+    # First: 5 units alone (t=0..5), remaining 5 at half rate -> +10 -> t=15.
+    assert done["first"] == pytest.approx(15.0)
+    # Second: arrives t=5, gains 5 at half rate until t=15, then 5 alone -> t=20.
+    assert sim.now == pytest.approx(20.0)
+
+
+def test_multicore_runs_tasks_in_parallel():
+    sim, cpu = make_cpu(speed=1.0, cores=2)
+    a = cpu.execute(10.0)
+    b = cpu.execute(10.0)
+    sim.run()
+    assert a.succeeded and b.succeeded
+    assert sim.now == pytest.approx(10.0)
+
+
+def test_multicore_oversubscription_shares_capacity():
+    sim, cpu = make_cpu(speed=1.0, cores=2)
+    futs = [cpu.execute(10.0) for _ in range(4)]
+    sim.run()
+    # 4 tasks on 2 cores: each at rate 1/2 -> t=20.
+    assert all(f.succeeded for f in futs)
+    assert sim.now == pytest.approx(20.0)
+
+
+def test_zero_work_completes_immediately():
+    sim, cpu = make_cpu()
+    fut = cpu.execute(0.0)
+    sim.run()
+    assert fut.succeeded
+    assert sim.now == 0.0
+
+
+def test_negative_work_rejected():
+    _, cpu = make_cpu()
+    with pytest.raises(SimulationError):
+        cpu.execute(-1.0)
+
+
+def test_invalid_construction():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        ProcessorSharingCPU(sim, speed=0.0)
+    with pytest.raises(SimulationError):
+        ProcessorSharingCPU(sim, cores=0)
+
+
+def test_abort_all_fails_inflight_tasks():
+    sim, cpu = make_cpu()
+    fut = cpu.execute(100.0)
+    sim.schedule(5.0, cpu.abort_all)
+    sim.run()
+    assert fut.failed
+    assert isinstance(fut.exception, ComputeAborted)
+    assert cpu.run_queue_length == 0
+
+
+def test_busy_integral_tracks_utilization():
+    sim, cpu = make_cpu(speed=1.0)
+    cpu.execute(10.0)
+    sim.run(until=10.0)
+    assert cpu.utilization_integral() == pytest.approx(10.0)
+    sim.run(until=20.0)
+    # Idle from t=10 on: integral unchanged.
+    assert cpu.utilization_integral() == pytest.approx(10.0)
+
+
+def test_busy_integral_fraction_of_capacity():
+    sim, cpu = make_cpu(speed=1.0, cores=2)
+    cpu.execute(10.0)  # one task on two cores = 50% capacity
+    sim.run(until=10.0)
+    assert cpu.utilization_integral() == pytest.approx(5.0)
+
+
+def test_work_completed_accumulates():
+    sim, cpu = make_cpu(speed=2.0)
+    cpu.execute(6.0)
+    cpu.execute(4.0)
+    sim.run()
+    assert cpu.work_completed == pytest.approx(10.0)
+
+
+def test_run_queue_length_live():
+    sim, cpu = make_cpu()
+    cpu.execute(4.0)
+    cpu.execute(4.0)
+    assert cpu.run_queue_length == 2
+    sim.run()
+    assert cpu.run_queue_length == 0
+
+
+def test_process_can_yield_cpu_future():
+    sim = Simulator()
+    cpu = ProcessorSharingCPU(sim, speed=1.0)
+
+    def worker():
+        yield cpu.execute(3.0)
+        return sim.now
+
+    proc = sim.spawn(worker())
+    sim.run()
+    assert proc.value == pytest.approx(3.0)
+
+
+def test_killed_process_releases_cpu_share():
+    """Killing a computing process frees its CPU share immediately."""
+    sim = Simulator()
+    cpu = ProcessorSharingCPU(sim, speed=1.0)
+
+    def hog():
+        yield cpu.execute(1000.0)
+
+    def worker():
+        yield cpu.execute(10.0)
+        return sim.now
+
+    hog_proc = sim.spawn(hog())
+    worker_proc = sim.spawn(worker())
+    sim.schedule(2.0, hog_proc.kill)
+    sim.run(until=100.0)
+    # Shared until t=2 (worker gains 1), then alone: 9 more -> t=11.
+    assert worker_proc.value == pytest.approx(11.0)
+    assert cpu.run_queue_length == 0
+
+
+def test_abandoned_before_kill_callback_runs_immediately():
+    sim = Simulator()
+    cpu = ProcessorSharingCPU(sim, speed=1.0)
+    fut = cpu.execute(100.0)
+    fut.mark_abandoned()
+    assert cpu.run_queue_length == 0
+    sim.run(until=1.0)
+    assert fut.is_pending  # never completes; nobody was waiting
+
+
+def test_many_staggered_tasks_conserve_total_work():
+    sim = Simulator()
+    cpu = ProcessorSharingCPU(sim, speed=1.0)
+    total = 0.0
+    for i in range(10):
+        work = 1.0 + i * 0.5
+        total += work
+        sim.schedule(i * 0.3, lambda w=work: cpu.execute(w))
+    sim.run()
+    assert cpu.work_completed == pytest.approx(total)
+    # Single unit-speed core: busy the whole time work was available; the
+    # makespan is at least total work.
+    assert sim.now >= total - 1e-6

@@ -1,0 +1,64 @@
+"""Package-integrity checks: every module imports, carries a docstring,
+and the declared public APIs exist."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+ALL_MODULES = sorted(
+    module.name
+    for module in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+)
+
+
+def test_module_inventory_is_substantial():
+    assert len(ALL_MODULES) >= 45
+
+
+@pytest.mark.parametrize("module_name", ALL_MODULES)
+def test_module_imports_and_documented(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} lacks a module docstring"
+
+
+@pytest.mark.parametrize(
+    "module_name",
+    [
+        "repro.sim",
+        "repro.cluster",
+        "repro.orb",
+        "repro.winner",
+        "repro.ft",
+        "repro.opt",
+        "repro.core",
+        "repro.bench",
+    ],
+)
+def test_declared_exports_exist(module_name):
+    module = importlib.import_module(module_name)
+    missing = [
+        name for name in getattr(module, "__all__", []) if not hasattr(module, name)
+    ]
+    assert not missing, f"{module_name} exports missing names: {missing}"
+
+
+def test_version_is_exposed():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_public_classes_have_docstrings():
+    for module_name in (
+        "repro.sim",
+        "repro.orb",
+        "repro.ft",
+        "repro.winner",
+        "repro.core",
+    ):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            obj = getattr(module, name)
+            if isinstance(obj, type):
+                assert obj.__doc__, f"{module_name}.{name} lacks a docstring"

@@ -1,0 +1,150 @@
+"""Tests for Winner batch queueing."""
+
+import pytest
+
+from repro.cluster import BackgroundLoad, Cluster, ClusterConfig
+from repro.errors import ConfigurationError, ProcessKilled
+from repro.sim import Simulator
+from repro.winner import NodeManager, SystemManager
+from repro.winner.batch import BatchQueue, JobState
+
+
+def build(num_hosts=4, seed=9, slots=1, **kwargs):
+    sim = Simulator(seed=seed)
+    cluster = Cluster(sim, ClusterConfig(num_hosts=num_hosts))
+    manager = SystemManager(cluster.host(0), cluster.network)
+    for host in cluster:
+        NodeManager(host, cluster.network, manager_host="ws00", interval=0.5).start()
+    sim.run(until=2.0)  # warm-up
+    queue = BatchQueue(cluster, manager, slots_per_host=slots, **kwargs)
+    return sim, cluster, manager, queue
+
+
+def test_single_job_runs_to_completion():
+    sim, cluster, _, queue = build()
+    job = queue.submit(work=3.0, name="j1")
+    result = sim.run_until_done(job.completion, limit=100)
+    assert result is job
+    assert job.state is JobState.DONE
+    assert job.host is not None
+    assert job.finished_at - job.started_at == pytest.approx(3.0, rel=0.05)
+
+
+def test_jobs_spread_across_hosts():
+    sim, cluster, _, queue = build()
+    jobs = [queue.submit(work=5.0) for _ in range(4)]
+    sim.run(until=3.0)
+    hosts = {job.host for job in jobs if job.state is JobState.RUNNING}
+    assert len(hosts) == 4  # one slot per host -> all four hosts used
+
+
+def test_slot_limit_queues_excess_jobs():
+    sim, cluster, _, queue = build(num_hosts=2)
+    jobs = [queue.submit(work=4.0) for _ in range(4)]
+    sim.run(until=3.0)
+    assert queue.running_count == 2
+    assert queue.queued_count == 2
+    sim.run(until=60.0)
+    assert all(job.state is JobState.DONE for job in jobs)
+    assert queue.completed == 4
+
+
+def test_priority_order():
+    sim, cluster, _, queue = build(num_hosts=1)
+    low = queue.submit(work=1.0, priority=0, name="low")
+    # Occupy the host, then submit competing priorities while it is busy.
+    sim.run(until=2.5)
+    late_low = queue.submit(work=1.0, priority=0, name="late-low")
+    high = queue.submit(work=1.0, priority=5, name="high")
+    sim.run(until=60.0)
+    assert high.started_at < late_low.started_at
+    assert low.state is JobState.DONE
+
+
+def test_multiple_slots_per_host():
+    sim, cluster, _, queue = build(num_hosts=1, slots=3)
+    jobs = [queue.submit(work=3.0) for _ in range(3)]
+    sim.run(until=2.0)
+    assert queue.running_count == 3
+
+
+def test_job_requeued_after_host_crash():
+    sim, cluster, _, queue = build()
+    job = queue.submit(work=10.0, name="survivor")
+    sim.run(until=3.0)
+    first_host = job.host
+    assert job.state is JobState.RUNNING
+    cluster.host(first_host).crash()
+    result = sim.run_until_done(job.completion, limit=200)
+    assert result.state is JobState.DONE
+    assert job.restarts == 1
+    assert job.host != first_host
+
+
+def test_job_fails_after_restart_budget():
+    sim, cluster, _, queue = build(num_hosts=2)
+    job = queue.submit(work=1000.0, max_restarts=1, name="doomed")
+    sim.run(until=3.0)
+    cluster.host(job.host).crash()
+    sim.run(until=8.0)
+    assert job.state is JobState.RUNNING  # restarted once on the other host
+    cluster.host(job.host).crash()
+    sim.run(until=15.0)
+    assert job.state is JobState.FAILED
+    assert queue.failed == 1
+    assert job.completion.failed
+
+
+def test_cancel_queued_and_running_jobs():
+    sim, cluster, _, queue = build(num_hosts=1)
+    running = queue.submit(work=50.0)
+    queued = queue.submit(work=1.0)
+    sim.run(until=2.0)
+    assert queue.cancel(queued.job_id)
+    assert queue.cancel(running.job_id)
+    assert not queue.cancel(running.job_id)  # already terminal
+    assert running.state is JobState.CANCELLED
+    assert queued.state is JobState.CANCELLED
+    sim.run(until=10.0)
+    assert cluster.host(0).cpu.run_queue_length == 0
+
+
+def test_min_score_keeps_loaded_hosts_free():
+    sim, cluster, _, queue = build(num_hosts=2, min_score=0.4)
+    # Load both hosts beyond the threshold.
+    for host in cluster:
+        BackgroundLoad(host, intensity=2, chunk=0.25).start()
+    sim.run(until=5.0)
+    job = queue.submit(work=1.0)
+    sim.run(until=8.0)
+    assert job.state is JobState.QUEUED  # nothing qualifies
+
+
+def test_stats_reporting():
+    sim, cluster, _, queue = build()
+    for _ in range(3):
+        queue.submit(work=2.0)
+    sim.run(until=30.0)
+    stats = queue.stats()
+    assert stats["submitted"] == 3
+    assert stats["completed"] == 3
+    assert stats["mean_wait"] >= 0.0
+
+
+def test_invalid_submissions_rejected():
+    sim, cluster, manager, queue = build()
+    with pytest.raises(ConfigurationError):
+        queue.submit(work=0.0)
+    with pytest.raises(ConfigurationError):
+        BatchQueue(cluster, manager, slots_per_host=0)
+
+
+def test_batch_load_visible_to_interactive_placement():
+    """Batch jobs are real load: Winner steers interactive work away."""
+    sim, cluster, manager, queue = build(num_hosts=3)
+    queue.submit(work=30.0)
+    queue.submit(work=30.0)
+    sim.run(until=6.0)
+    busy = {job.host for job in queue.jobs.values()}
+    best = manager.best_host()
+    assert best not in busy

@@ -1,0 +1,101 @@
+"""Tests for load metrics, EWMA and the report protocol."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CdrError, ConfigurationError
+from repro.winner import Ewma, LoadReport
+
+
+# -- EWMA -----------------------------------------------------------------------
+
+
+def test_ewma_first_update_sets_value():
+    ewma = Ewma(alpha=0.5)
+    assert not ewma.initialized
+    assert ewma.value == 0.0
+    ewma.update(10.0)
+    assert ewma.value == 10.0
+
+
+def test_ewma_converges_toward_constant_input():
+    ewma = Ewma(alpha=0.5)
+    for _ in range(20):
+        ewma.update(4.0)
+    assert ewma.value == pytest.approx(4.0)
+
+
+def test_ewma_smooths_step_change():
+    ewma = Ewma(alpha=0.5, initial=0.0)
+    ewma.update(1.0)
+    assert ewma.value == pytest.approx(0.5)
+    ewma.update(1.0)
+    assert ewma.value == pytest.approx(0.75)
+
+
+def test_ewma_alpha_one_tracks_input_exactly():
+    ewma = Ewma(alpha=1.0)
+    ewma.update(3.0)
+    ewma.update(7.0)
+    assert ewma.value == 7.0
+
+
+def test_ewma_invalid_alpha():
+    with pytest.raises(ConfigurationError):
+        Ewma(alpha=0.0)
+    with pytest.raises(ConfigurationError):
+        Ewma(alpha=1.5)
+
+
+def test_ewma_reset():
+    ewma = Ewma()
+    ewma.update(5.0)
+    ewma.reset()
+    assert not ewma.initialized
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.floats(min_value=0.01, max_value=1.0),
+    st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=30),
+)
+def test_ewma_stays_within_observed_range(alpha, observations):
+    ewma = Ewma(alpha=alpha)
+    for obs in observations:
+        ewma.update(obs)
+    assert min(observations) - 1e-9 <= ewma.value <= max(observations) + 1e-9
+
+
+# -- report protocol ----------------------------------------------------------------
+
+
+def test_load_report_roundtrip():
+    report = LoadReport(
+        host="ws03",
+        time=12.5,
+        cpu_utilization=0.75,
+        run_queue=3,
+        speed=2.0,
+        cores=2,
+        seq=42,
+    )
+    assert LoadReport.decode(report.encode()) == report
+
+
+def test_load_report_rejects_garbage():
+    with pytest.raises(CdrError):
+        LoadReport.decode(b"XXXXgarbage")
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.floats(min_value=0.0, max_value=1.0),
+    st.integers(min_value=0, max_value=1000),
+    st.floats(min_value=0.01, max_value=100.0),
+    st.integers(min_value=1, max_value=64),
+    st.integers(min_value=0, max_value=2**60),
+)
+def test_load_report_roundtrip_property(util, queue, speed, cores, seq):
+    report = LoadReport("h", 1.0, util, queue, speed, cores, seq)
+    assert LoadReport.decode(report.encode()) == report
