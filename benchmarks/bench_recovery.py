@@ -10,7 +10,7 @@ from repro.bench import format_table
 from repro.bench.ftbench import recovery_bench
 
 
-def test_recovery_under_failures(benchmark, save_result):
+def test_recovery_under_failures(benchmark, save_result, export_bench_metrics):
     rows = benchmark.pedantic(recovery_bench, rounds=1, iterations=1)
 
     text = format_table(
@@ -45,3 +45,23 @@ def test_recovery_under_failures(benchmark, save_result):
     assert rows[1].extra["recoveries"] >= 1
 
     save_result("recovery", text, {"rows": [row.__dict__ for row in rows]})
+    export_bench_metrics(
+        "recovery",
+        {
+            "bench_runtime_seconds": [
+                ({"failures": row.extra["failures"]}, row.runtime)
+                for row in rows
+            ],
+            "bench_recoveries": [
+                ({"failures": row.extra["failures"]}, row.extra["recoveries"])
+                for row in rows
+            ],
+            "bench_recovery_time_seconds": [
+                (
+                    {"failures": row.extra["failures"]},
+                    row.extra["recovery_time"],
+                )
+                for row in rows
+            ],
+        },
+    )

@@ -12,7 +12,7 @@ the more time is spent in the called method."
 from repro.bench import format_table, table1_sweep
 
 
-def test_table1_ft_overhead(benchmark, save_result):
+def test_table1_ft_overhead(benchmark, save_result, export_bench_metrics):
     rows = benchmark.pedantic(table1_sweep, rounds=1, iterations=1)
 
     text = format_table(
@@ -41,4 +41,21 @@ def test_table1_ft_overhead(benchmark, save_result):
         "table1_ft_overhead",
         text,
         {"rows": [row.__dict__ | {"overhead_percent": row.overhead_percent} for row in rows]},
+    )
+    export_bench_metrics(
+        "table1_ft_overhead",
+        {
+            "bench_runtime_seconds": [
+                ({"iterations": row.iterations, "variant": variant}, value)
+                for row in rows
+                for variant, value in (
+                    ("plain", row.runtime_without_proxy),
+                    ("ft_proxy", row.runtime_with_proxy),
+                )
+            ],
+            "bench_ft_overhead_percent": [
+                ({"iterations": row.iterations}, row.overhead_percent)
+                for row in rows
+            ],
+        },
     )

@@ -29,3 +29,32 @@ def save_result():
         print("\n" + text)
 
     return _save
+
+
+@pytest.fixture
+def export_bench_metrics():
+    """Emit a bench's headline numbers through the metrics exporters.
+
+    Records each ``metric-name -> [(labels, value), ...]`` entry in a
+    standalone :class:`repro.obs.MetricsRegistry` and writes the registry
+    snapshot to ``benchmarks/results/BENCH_<name>.json`` plus a Prometheus
+    text dump to ``BENCH_<name>.prom`` — the same machine-readable form the
+    runtime exports, so dashboards can consume bench and run data alike.
+    """
+
+    def _export(name: str, series: dict) -> None:
+        from repro.bench.reporting import write_json
+        from repro.obs import MetricsRegistry
+        from repro.obs.exporters import prometheus_text
+
+        registry = MetricsRegistry()
+        for metric_name, samples in series.items():
+            for labels, value in samples:
+                registry.gauge(metric_name, **labels).set(float(value))
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        write_json(RESULTS_DIR / f"BENCH_{name}.json", registry.snapshot())
+        (RESULTS_DIR / f"BENCH_{name}.prom").write_text(
+            prometheus_text(registry)
+        )
+
+    return _export

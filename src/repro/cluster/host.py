@@ -98,7 +98,10 @@ class Host:
             return
         self._up = False
         self.crash_count += 1
-        self.sim.trace.emit("host", f"{self.name} crashed")
+        self.sim.trace.emit("host", "crashed", host=self.name)
+        self.sim.obs.metrics.counter(
+            "host_crashes_total", host=self.name
+        ).inc()
         self.cpu.abort_all(HostDownError(f"host {self.name} crashed"))
         processes, self._processes = self._processes, []
         for process in processes:
@@ -112,6 +115,11 @@ class Host:
             return
         self._up = True
         self.incarnation += 1
-        self.sim.trace.emit("host", f"{self.name} restarted")
+        self.sim.trace.emit(
+            "host", "restarted", host=self.name, incarnation=self.incarnation
+        )
+        self.sim.obs.metrics.counter(
+            "host_restarts_total", host=self.name
+        ).inc()
         for listener in list(self._restart_listeners):
             listener(self)

@@ -47,6 +47,10 @@ class RuntimeConfig:
     #: factory) after this delay; None disables.
     auto_heal_delay: Optional[float] = 1.0
 
+    # observability -------------------------------------------------------------
+    #: attach the tracing/metrics request interceptor to every ORB.
+    observability: bool = True
+
     # orb ---------------------------------------------------------------------
     orb: OrbConfig = field(default_factory=OrbConfig)
 

@@ -78,6 +78,7 @@ def runtime_report(runtime: "Runtime") -> dict:
         },
         "operations": operations,
         "fault_tolerance": ft,
+        "observability": sim.obs.report(),
     }
 
 
@@ -132,4 +133,11 @@ def format_runtime_report(report: dict) -> str:
         f"({ft['recovery_time_total']:.3f}s), "
         f"{ft['failed_recoveries']} failed"
     )
+    obs = report.get("observability")
+    if obs:
+        sections.append(
+            f"Observability: {obs['metrics']} metric series, "
+            f"{obs['spans_finished']} spans across {obs['traces']} traces "
+            f"({obs['spans_open']} open, {obs['spans_dropped']} dropped)"
+        )
     return "\n\n".join(sections)

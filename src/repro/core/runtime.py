@@ -89,7 +89,7 @@ class Runtime:
         service_host = self.cluster.host(config.service_host)
 
         for host in self.cluster:
-            self._orbs[host.name] = Orb(host, self.network, config=config.orb)
+            self._orbs[host.name] = self._make_orb(host)
             if config.auto_heal_delay is not None:
                 host.on_restart(self._schedule_heal)
 
@@ -123,6 +123,14 @@ class Runtime:
             for host in self.cluster:
                 self._start_factory(host)
         return self
+
+    def _make_orb(self, host) -> Orb:
+        orb = Orb(host, self.network, config=self.config.orb)
+        if self.config.observability:
+            from repro.obs.interceptor import ObservabilityInterceptor
+
+            orb.add_request_interceptor(ObservabilityInterceptor(orb))
+        return orb
 
     def _make_strategy(self):
         name = self.config.naming_strategy
@@ -178,12 +186,17 @@ class Runtime:
         host = self.cluster.host(host_name)
         if not host.up:
             return
-        self._orbs[host.name] = Orb(host, self.network, config=self.config.orb)
+        self._orbs[host.name] = self._make_orb(host)
         self._start_node_manager(host)
         if self.config.start_factories:
             self._start_factory(host)
 
     # -- accessors ---------------------------------------------------------------
+
+    @property
+    def obs(self):
+        """The simulation's observability hub (metrics + tracer)."""
+        return self.sim.obs
 
     def orb(self, host: int | str) -> Orb:
         name = host if isinstance(host, str) else self.cluster.host(host).name

@@ -61,6 +61,37 @@ def _migrate_locked(proxy, naming, target_host: str):
     old_ior = proxy.ior
     if old_ior.host == target_host:
         return old_ior  # someone moved it while we waited for the lock
+    started = orb.sim.now
+    with orb.sim.obs.tracer.span(
+        "ft:migrate",
+        host=orb.host.name,
+        service=ft.key,
+        src=old_ior.host,
+        dst=target_host,
+    ):
+        new_ior = yield from _migrate_steps(
+            proxy, naming, target_host, old_ior
+        )
+    orb.sim.obs.metrics.counter(
+        "ft_migrations_total", service=ft.key
+    ).inc()
+    orb.sim.obs.metrics.histogram(
+        "ft_migration_seconds", service=ft.key
+    ).observe(orb.sim.now - started)
+    orb.sim.trace.emit(
+        "ft",
+        "migrated",
+        service=ft.key,
+        src=old_ior.host,
+        dst=new_ior.host,
+    )
+    return new_ior
+
+
+def _migrate_steps(proxy, naming, target_host: str, old_ior):
+    ft = proxy._ft
+    orb = proxy._orb
+    recovery = ft.recovery
 
     # 1. capture current state.
     yield from proxy._take_checkpoint()
@@ -99,9 +130,6 @@ def _migrate_locked(proxy, naming, target_host: str):
             yield orb.stub(old_factory_ior, ObjectFactoryStub).destroy_object(old_ior)
         except SystemException:
             pass
-    orb.sim.trace.emit(
-        "ft", f"migrated {ft.key}", src=old_ior.host, dst=new_ior.host
-    )
     return new_ior
 
 

@@ -106,54 +106,79 @@ class _FtProxyBase:
     def _ft_call_locked(self, operation: str, args: tuple, outer):
         ft = self._ft
         policy = ft.policy
+        obs = self._orb.sim.obs
         attempts = 0
-        while True:
-            try:
-                result = yield ObjectStub._invoke(self, operation, args)
-                break
-            except RECOVERABLE as exc:
-                attempts += 1
-                ft.retries += 1
-                if ft.recovery is None:
-                    outer.try_fail(exc)
-                    return
-                if attempts > policy.max_call_retries:
-                    outer.try_fail(
-                        RecoveryError(
+        # The root span of the logical call: every retry, recovery step and
+        # checkpoint below shares its trace id (the context rides on this
+        # process and propagates over the wire via the GIOP service context).
+        with obs.tracer.span(
+            f"ft:{operation}", host=self._orb.host.name, service=ft.key
+        ) as span:
+            while True:
+                try:
+                    result = yield ObjectStub._invoke(self, operation, args)
+                    break
+                except RECOVERABLE as exc:
+                    attempts += 1
+                    ft.retries += 1
+                    obs.metrics.counter(
+                        "ft_retries_total", service=ft.key
+                    ).inc()
+                    if ft.recovery is None:
+                        span.mark_error(exc)
+                        outer.try_fail(exc)
+                        return
+                    if attempts > policy.max_call_retries:
+                        error = RecoveryError(
                             f"{operation} still failing after {attempts - 1} "
                             f"recoveries"
                         )
-                    )
-                    return
+                        span.mark_error(error)
+                        outer.try_fail(error)
+                        return
+                    try:
+                        yield from ft.recovery.recover(self)
+                    except RecoveryError as recovery_error:
+                        span.mark_error(recovery_error)
+                        outer.try_fail(recovery_error)
+                        return
+            span.set_attr("attempts", attempts + 1)
+            ft.calls += 1
+            obs.metrics.counter("ft_calls_total", service=ft.key).inc()
+            ft._calls_since_checkpoint += 1
+            if ft.store is not None and ft._calls_since_checkpoint >= policy.checkpoint_interval:
                 try:
-                    yield from ft.recovery.recover(self)
-                except RecoveryError as recovery_error:
-                    outer.try_fail(recovery_error)
-                    return
-        ft.calls += 1
-        ft._calls_since_checkpoint += 1
-        if ft.store is not None and ft._calls_since_checkpoint >= policy.checkpoint_interval:
-            try:
-                yield from self._take_checkpoint()
-            except Exception as exc:  # noqa: BLE001 - policy decides
-                if policy.on_checkpoint_failure == "raise":
-                    outer.try_fail(exc)
-                    return
-                self._orb.sim.trace.emit(
-                    "ft",
-                    f"checkpoint of {ft.key} failed (ignored)",
-                    error=type(exc).__name__,
-                )
-        outer.try_succeed(result)
+                    yield from self._take_checkpoint()
+                except Exception as exc:  # noqa: BLE001 - policy decides
+                    if policy.on_checkpoint_failure == "raise":
+                        span.mark_error(exc)
+                        outer.try_fail(exc)
+                        return
+                    self._orb.sim.trace.emit(
+                        "ft",
+                        "checkpoint failed (ignored)",
+                        service=ft.key,
+                        error=type(exc).__name__,
+                    )
+            outer.try_succeed(result)
 
     def _take_checkpoint(self):
         """Fetch state from the server and persist it in the store."""
         ft = self._ft
-        state = yield ObjectStub._invoke(self, "get_checkpoint", ())
-        version = next(ft._versions)
-        yield ft.store.store(ft.key, version, state)
+        obs = self._orb.sim.obs
+        started = self._orb.sim.now
+        with obs.tracer.span(
+            "ft:checkpoint", host=self._orb.host.name, service=ft.key
+        ):
+            state = yield ObjectStub._invoke(self, "get_checkpoint", ())
+            version = next(ft._versions)
+            yield ft.store.store(ft.key, version, state)
         ft.checkpoints_taken += 1
         ft._calls_since_checkpoint = 0
+        obs.metrics.counter("ft_checkpoints_total", service=ft.key).inc()
+        obs.metrics.histogram(
+            "ft_checkpoint_seconds", service=ft.key
+        ).observe(self._orb.sim.now - started)
 
     # -- manual controls (used by migration and tests) ----------------------------------
 

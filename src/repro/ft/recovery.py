@@ -106,9 +106,24 @@ class RecoveryCoordinator:
         dead_ior = proxy.ior
         sim.trace.emit(
             "ft",
-            f"recovering {context.key}",
+            "recovering",
+            service=context.key,
             dead_host=dead_ior.host,
         )
+        with sim.obs.tracer.span(
+            "ft:recover",
+            host=self.orb.host.name,
+            service=context.key,
+            dead_host=dead_ior.host,
+        ) as span:
+            new_ior = yield from self._recover_attempts(
+                proxy, span, started, dead_ior
+            )
+        return new_ior
+
+    def _recover_attempts(self, proxy, span, started, dead_ior):
+        sim = self.orb.sim
+        context = proxy._ft
         last_error: Optional[BaseException] = None
         for attempt in range(self.policy.max_recover_attempts):
             if attempt:
@@ -142,12 +157,28 @@ class RecoveryCoordinator:
             yield from self._swap_group_binding(context, dead_ior, new_ior)
             proxy._rebind(new_ior)
             self.recoveries += 1
-            self.recovery_time_total += sim.now - started
+            elapsed = sim.now - started
+            self.recovery_time_total += elapsed
+            span.set_attr("attempts", attempt + 1)
+            span.set_attr("new_host", new_ior.host)
+            sim.obs.metrics.counter(
+                "ft_recoveries_total", service=context.key
+            ).inc()
+            sim.obs.metrics.histogram(
+                "ft_recovery_seconds", service=context.key
+            ).observe(elapsed)
             sim.trace.emit(
-                "ft", f"recovered {context.key}", new_host=new_ior.host
+                "ft",
+                "recovered",
+                service=context.key,
+                new_host=new_ior.host,
+                seconds=elapsed,
             )
             return new_ior
         self.failed_recoveries += 1
+        sim.obs.metrics.counter(
+            "ft_failed_recoveries_total", service=context.key
+        ).inc()
         raise RecoveryError(
             f"recovery of {context.key} failed after "
             f"{self.policy.max_recover_attempts} attempts"

@@ -97,52 +97,68 @@ class FtRequest:
         ft = proxy._ft
         policy = ft.policy
         orb = proxy._orb
+        obs = orb.sim.obs
         failures = 0
-        while True:
-            request = Request(
-                orb, proxy.ior, self._info, self._args, reference=proxy
-            )
-            self.attempts += 1
-            try:
-                result = yield request.send_deferred().get_response()
-                break
-            except RECOVERABLE as exc:
-                failures += 1
-                ft.retries += 1
-                if ft.recovery is None:
-                    self._outer.try_fail(exc)
-                    return
-                if failures > policy.max_call_retries:
-                    self._outer.try_fail(
-                        RecoveryError(
+        # Root span for the logical DII call — same shape as the object
+        # proxy's wrapped path, so retries/recoveries share one trace id.
+        with obs.tracer.span(
+            f"ft:{self.operation}", host=orb.host.name, service=ft.key
+        ) as span:
+            span.set_attr("dii", True)
+            while True:
+                request = Request(
+                    orb, proxy.ior, self._info, self._args, reference=proxy
+                )
+                self.attempts += 1
+                try:
+                    result = yield request.send_deferred().get_response()
+                    break
+                except RECOVERABLE as exc:
+                    failures += 1
+                    ft.retries += 1
+                    obs.metrics.counter(
+                        "ft_retries_total", service=ft.key
+                    ).inc()
+                    if ft.recovery is None:
+                        span.mark_error(exc)
+                        self._outer.try_fail(exc)
+                        return
+                    if failures > policy.max_call_retries:
+                        error = RecoveryError(
                             f"{self.operation} still failing after "
                             f"{failures - 1} recoveries"
                         )
-                    )
-                    return
+                        span.mark_error(error)
+                        self._outer.try_fail(error)
+                        return
+                    try:
+                        yield from ft.recovery.recover(proxy)
+                    except RecoveryError as recovery_error:
+                        span.mark_error(recovery_error)
+                        self._outer.try_fail(recovery_error)
+                        return
+            span.set_attr("attempts", self.attempts)
+            ft.calls += 1
+            obs.metrics.counter("ft_calls_total", service=ft.key).inc()
+            ft._calls_since_checkpoint += 1
+            if (
+                ft.store is not None
+                and ft._calls_since_checkpoint >= policy.checkpoint_interval
+            ):
                 try:
-                    yield from ft.recovery.recover(proxy)
-                except RecoveryError as recovery_error:
-                    self._outer.try_fail(recovery_error)
-                    return
-        ft.calls += 1
-        ft._calls_since_checkpoint += 1
-        if (
-            ft.store is not None
-            and ft._calls_since_checkpoint >= policy.checkpoint_interval
-        ):
-            try:
-                yield from proxy._take_checkpoint()
-            except Exception as exc:  # noqa: BLE001 - policy decides
-                if policy.on_checkpoint_failure == "raise":
-                    self._outer.try_fail(exc)
-                    return
-                orb.sim.trace.emit(
-                    "ft",
-                    f"checkpoint of {ft.key} failed (ignored)",
-                    error=type(exc).__name__,
-                )
-        self._outer.try_succeed(result)
+                    yield from proxy._take_checkpoint()
+                except Exception as exc:  # noqa: BLE001 - policy decides
+                    if policy.on_checkpoint_failure == "raise":
+                        span.mark_error(exc)
+                        self._outer.try_fail(exc)
+                        return
+                    orb.sim.trace.emit(
+                        "ft",
+                        "checkpoint failed (ignored)",
+                        service=ft.key,
+                        error=type(exc).__name__,
+                    )
+            self._outer.try_succeed(result)
 
     def _ensure_sent(self) -> None:
         if self._outer is None:

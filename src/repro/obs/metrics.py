@@ -1,0 +1,242 @@
+"""The metrics registry: counters, gauges and simulated-time histograms.
+
+Components register named, labelled instruments here instead of hand-rolling
+ad-hoc counters.  All instruments are cheap (a dict lookup plus an integer
+or float update per event); histograms keep a bounded sample reservoir
+stamped with *simulated* time so percentiles can be computed over a sliding
+window of the run, not wall time.
+
+The registry itself is serialization-friendly: :meth:`MetricsRegistry.snapshot`
+returns plain dicts, and the exporters in :mod:`repro.obs.exporters` render
+the same data as Prometheus text or JSON artifacts.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Iterator, Optional
+
+#: label sets are stored as sorted tuples of (key, value) pairs.
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Instrument:
+    """Base of all metric instruments."""
+
+    kind = "instrument"
+
+    def __init__(self, name: str, labels: LabelKey) -> None:
+        self.name = name
+        self.labels = labels
+
+    @property
+    def label_dict(self) -> dict[str, str]:
+        return dict(self.labels)
+
+    def value_repr(self) -> Any:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class Counter(Instrument):
+    """A monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelKey) -> None:
+        super().__init__(name, labels)
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+    def value_repr(self) -> float:
+        return self.value
+
+
+class Gauge(Instrument):
+    """A value that can go up and down (utilization, queue depth, score)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelKey) -> None:
+        super().__init__(name, labels)
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def value_repr(self) -> float:
+        return self.value
+
+
+class Histogram(Instrument):
+    """Latency/size distribution with simulated-time windowed percentiles.
+
+    Keeps a bounded reservoir of ``(time, value)`` samples (newest win when
+    ``max_samples`` is exceeded) plus cumulative count/sum that are never
+    dropped.  ``window`` restricts percentile queries to samples observed in
+    the last ``window`` simulated seconds; ``None`` uses every retained
+    sample.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelKey,
+        clock: Callable[[], float],
+        window: Optional[float] = None,
+        max_samples: int = 4096,
+    ) -> None:
+        super().__init__(name, labels)
+        self._clock = clock
+        self.window = window
+        self._samples: deque[tuple[float, float]] = deque(maxlen=max_samples)
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        self._samples.append((self._clock(), value))
+
+    def _windowed(self) -> list[float]:
+        if self.window is None:
+            return [v for _, v in self._samples]
+        horizon = self._clock() - self.window
+        return [v for t, v in self._samples if t >= horizon]
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (0..100) over the current window.
+
+        Nearest-rank on the sorted window; 0.0 when the window is empty.
+        """
+        values = sorted(self._windowed())
+        if not values:
+            return 0.0
+        if p <= 0:
+            return values[0]
+        if p >= 100:
+            return values[-1]
+        rank = max(1, -(-len(values) * p // 100))  # ceil(n * p / 100)
+        return values[int(rank) - 1]
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+    def value_repr(self) -> dict[str, float]:
+        return self.summary()
+
+
+class MetricsRegistry:
+    """Get-or-create store of all instruments of one simulation.
+
+    :param clock: returns the current (simulated) time; histograms stamp
+        samples with it.  Defaults to a constant 0.0 clock so the registry
+        also works standalone (e.g. in benchmark reporting scripts).
+    """
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        self._clock = clock or (lambda: 0.0)
+        self._instruments: dict[tuple[str, LabelKey], Instrument] = {}
+        #: instrument kind by name, to reject name/kind conflicts.
+        self._kinds: dict[str, str] = {}
+
+    # -- instrument accessors -------------------------------------------------
+
+    def _get(
+        self, cls: type, name: str, labels: dict[str, Any], **kwargs
+    ) -> Instrument:
+        key = (name, _label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            known = self._kinds.get(name)
+            if known is not None and known != cls.kind:
+                raise ValueError(
+                    f"metric {name!r} is already registered as a {known}"
+                )
+            instrument = cls(name, key[1], **kwargs)
+            self._instruments[key] = instrument
+            self._kinds[name] = cls.kind
+        return instrument
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get(Counter, name, labels)  # type: ignore[return-value]
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get(Gauge, name, labels)  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        window: Optional[float] = None,
+        max_samples: int = 4096,
+        **labels: Any,
+    ) -> Histogram:
+        return self._get(  # type: ignore[return-value]
+            Histogram,
+            name,
+            labels,
+            clock=self._clock,
+            window=window,
+            max_samples=max_samples,
+        )
+
+    # -- introspection ---------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Instrument]:
+        return iter(
+            self._instruments[key] for key in sorted(self._instruments)
+        )
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def snapshot(self) -> list[dict]:
+        """All instruments as plain dicts (JSON-ready)."""
+        return [
+            {
+                "name": instrument.name,
+                "kind": instrument.kind,
+                "labels": instrument.label_dict,
+                "value": instrument.value_repr(),
+            }
+            for instrument in self
+        ]
+
+    def to_prometheus(self) -> str:
+        """Prometheus-style text exposition of every instrument."""
+        from repro.obs.exporters import prometheus_text
+
+        return prometheus_text(self)

@@ -326,9 +326,27 @@ class Orb:
         if stats is None:
             stats = self.call_stats[info.name] = CallStats(info.name)
         outer.add_done_callback(
-            lambda f: stats.record(self.sim.now - started, f.failed)
+            lambda f: self._record_call_outcome(info.name, stats, started, f)
         )
         return outer
+
+    def _record_call_outcome(
+        self, operation: str, stats: CallStats, started: float, future: SimFuture
+    ) -> None:
+        latency = self.sim.now - started
+        stats.record(latency, future.failed)
+        metrics = self.sim.obs.metrics
+        metrics.histogram(
+            "orb_call_latency_seconds",
+            operation=operation,
+            host=self.host.name,
+        ).observe(latency)
+        if future.failed:
+            metrics.counter(
+                "orb_call_failures_total",
+                operation=operation,
+                host=self.host.name,
+            ).inc()
 
     def locate(self, ior: IOR) -> SimFuture:
         """LocateRequest ping; resolves to True when the object is
@@ -372,6 +390,22 @@ class Orb:
         using_cached = cached_forward is not None
         for _hop in range(MAX_FORWARDS + 1):
             request_id = next(self._request_ids)
+            service_contexts: tuple = ()
+            if self.interceptors:
+                from repro.orb.interceptors import RequestInfo
+
+                # send_request runs before the message is built so that
+                # interceptors can attach service contexts to the wire
+                # (e.g. the observability layer's trace context).
+                send_info = RequestInfo(
+                    operation=info.name,
+                    request_id=request_id,
+                    target=target,
+                    body_size=len(body),
+                    response_expected=not info.oneway,
+                )
+                self._intercept("send_request", send_info)
+                service_contexts = tuple(send_info.service_contexts)
             message = giop.RequestMessage(
                 request_id=request_id,
                 response_expected=not info.oneway,
@@ -381,21 +415,10 @@ class Orb:
                 reply_host=self.host.name,
                 reply_port=self.port,
                 body=body,
+                service_contexts=service_contexts,
             )
             raw = giop.encode_message(message)
             self.requests_sent += 1
-            if self.interceptors:
-                from repro.orb.interceptors import RequestInfo
-
-                self._intercept(
-                    "send_request",
-                    RequestInfo(
-                        operation=info.name,
-                        request_id=request_id,
-                        target=target,
-                        body_size=len(body),
-                    ),
-                )
 
             try:
                 self.network.host(target.host)
@@ -451,6 +474,7 @@ class Orb:
                 try:
                     reply = yield inner
                 except SystemException as exc:
+                    self._intercept_outcome(info.name, request_id, exc)
                     if using_cached:
                         # The forwarded target died: drop the cache and
                         # fall back to the original reference once.
@@ -459,7 +483,6 @@ class Orb:
                         using_cached = False
                         target = ior
                         continue
-                    self._intercept_outcome(info.name, request_id, exc)
                     outer.try_fail(exc)
                     return
 
@@ -468,6 +491,7 @@ class Orb:
                 decoded = giop.decode_system_exception(reply.body)
                 if isinstance(decoded, (OBJECT_NOT_EXIST, TRANSIENT)):
                     # The cached forward points at a dead object: fall back.
+                    self._intercept_outcome(info.name, request_id, decoded)
                     if reference is not None:
                         reference._forward_target = None
                     using_cached = False
@@ -475,7 +499,9 @@ class Orb:
                     continue
             if reply.status is giop.ReplyStatus.LOCATION_FORWARD:
                 # Transparent retry at the forwarded reference; cache it
-                # on the object reference (GIOP client behaviour).
+                # on the object reference (GIOP client behaviour).  The
+                # hop's interceptor round is closed as a received reply.
+                self._intercept_outcome(info.name, request_id, None)
                 try:
                     target = CdrInputStream(reply.body).read_ior()
                 except CdrError as exc:
@@ -669,6 +695,7 @@ class Orb:
 
     def _serve(self, message: giop.RequestMessage, wire_size: int):
         cfg = self.config
+        dispatch_started = self.sim.now
         yield self.host.execute(
             cfg.dispatch_fixed_work + cfg.marshal_per_byte_work * wire_size
         )
@@ -708,6 +735,8 @@ class Orb:
                         request_id=message.request_id,
                         object_key=message.object_key,
                         body_size=len(message.body),
+                        response_expected=message.response_expected,
+                        service_contexts=list(message.service_contexts),
                     ),
                 )
             method = getattr(servant, message.operation, None)
@@ -754,6 +783,11 @@ class Orb:
                 UNKNOWN(f"servant raised {type(exc).__name__}: {exc}")
             )
 
+        self.sim.obs.metrics.histogram(
+            "orb_dispatch_seconds",
+            operation=message.operation,
+            host=self.host.name,
+        ).observe(self.sim.now - dispatch_started)
         if not message.response_expected:
             return
         yield self.host.execute(self._marshal_work(len(reply_body)))

@@ -57,6 +57,10 @@ class RequestMessage:
     reply_host: str
     reply_port: int
     body: bytes
+    #: GIOP service contexts: ``(context_id, data)`` pairs riding along
+    #: with the request — out-of-band metadata such as the propagated
+    #: observability trace context (see ``repro.obs.trace``).
+    service_contexts: tuple = ()
 
 
 @dataclass(frozen=True)
@@ -122,6 +126,10 @@ def encode_message(message: GiopMessage) -> bytes:
         stream.write_ulong(message.target_incarnation)
         stream.write_string(message.reply_host)
         stream.write_ulong(message.reply_port)
+        stream.write_ulong(len(message.service_contexts))
+        for context_id, data in message.service_contexts:
+            stream.write_ulong(context_id)
+            stream.write_octets(bytes(data))
         stream.write_octets(message.body)
     elif isinstance(message, ReplyMessage):
         stream.write_octet(MsgType.REPLY)
@@ -163,15 +171,27 @@ def decode_message(data: bytes) -> GiopMessage:
     except ValueError as exc:
         raise MARSHAL(f"unknown GIOP message type: {exc}") from exc
     if msg_type is MsgType.REQUEST:
+        request_id = stream.read_ulong()
+        response_expected = stream.read_boolean()
+        object_key = stream.read_octets()
+        operation = stream.read_string()
+        target_incarnation = stream.read_ulong()
+        reply_host = stream.read_string()
+        reply_port = stream.read_ulong()
+        service_contexts = tuple(
+            (stream.read_ulong(), stream.read_octets())
+            for _ in range(stream.read_ulong())
+        )
         return RequestMessage(
-            request_id=stream.read_ulong(),
-            response_expected=stream.read_boolean(),
-            object_key=stream.read_octets(),
-            operation=stream.read_string(),
-            target_incarnation=stream.read_ulong(),
-            reply_host=stream.read_string(),
-            reply_port=stream.read_ulong(),
+            request_id=request_id,
+            response_expected=response_expected,
+            object_key=object_key,
+            operation=operation,
+            target_incarnation=target_incarnation,
+            reply_host=reply_host,
+            reply_port=reply_port,
             body=stream.read_octets(),
+            service_contexts=service_contexts,
         )
     if msg_type is MsgType.REPLY:
         return ReplyMessage(

@@ -10,7 +10,7 @@ for portability) — implementable here without modifying the ORB core.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Optional, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -30,6 +30,14 @@ class RequestInfo:
     exception: Optional[BaseException] = None
     #: wire size of the request body in bytes.
     body_size: int = 0
+    #: whether the client awaits a reply (False for oneway calls).
+    response_expected: bool = True
+    #: GIOP service contexts as ``(context_id, data)`` pairs.  In
+    #: ``send_request`` the list is writable: entries appended by an
+    #: interceptor are marshalled into the outgoing request (this is how
+    #: the observability layer propagates its trace context); in
+    #: ``receive_request`` it holds the contexts decoded off the wire.
+    service_contexts: list = field(default_factory=list)
 
 
 class RequestInterceptor:

@@ -89,6 +89,10 @@ class LoadDistributingContextServant(
             if group:
                 self.resolutions += 1
                 group_label = f"{name[0].id}.{name[0].kind}"
+                if self._poa is not None:
+                    self._poa.orb.sim.obs.metrics.counter(
+                        "naming_resolutions_total", group=group_label
+                    ).inc()
                 outcome = self.strategy.choose(group_label, list(group))
                 if inspect.isgenerator(outcome):
                     outcome = yield from outcome

@@ -53,6 +53,13 @@ class Simulator:
         self._rngs: dict[tuple[str, ...], np.random.Generator] = {}
         self.trace = Trace(self)
         self.processes: list[Any] = []  # populated by Process
+        #: the process whose generator is being stepped right now (None
+        #: between steps); trace-context inheritance at spawn and the
+        #: observability tracer's "current span" both key off it.
+        self.current_process: Optional[Any] = None
+        #: trace context used when no process is running (driver code).
+        self.ambient_trace_context: Optional[Any] = None
+        self._obs: Optional[Any] = None
         #: (name, exception) pairs of processes that died from an uncaught,
         #: non-kill exception while nobody was watching them.
         self.unhandled_failures: list[tuple[str, BaseException]] = []
@@ -159,6 +166,18 @@ class Simulator:
         from repro.sim.process import Process
 
         return Process(self, generator, name=name)
+
+    # -- observability ---------------------------------------------------------
+
+    @property
+    def obs(self):
+        """The simulation's observability hub (metrics registry + span
+        tracer), created lazily on first access."""
+        if self._obs is None:
+            from repro.obs import Observability
+
+            self._obs = Observability(self)
+        return self._obs
 
     # -- randomness -----------------------------------------------------------
 

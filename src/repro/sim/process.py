@@ -34,6 +34,7 @@ class Process(SimFuture):
         "_in_resume",
         "_pending_kill",
         "_started",
+        "trace_context",
     )
 
     def __init__(self, sim: "Simulator", generator: Generator, name: str = "") -> None:
@@ -50,6 +51,15 @@ class Process(SimFuture):
         self._in_resume = False
         self._pending_kill: Optional[BaseException] = None
         self._started = False
+        #: observability trace context; inherited from the spawning process
+        #: (or the ambient driver context) so spans stay causally linked
+        #: across spawn boundaries.
+        spawner = sim.current_process
+        self.trace_context = (
+            spawner.trace_context
+            if spawner is not None
+            else sim.ambient_trace_context
+        )
         sim.processes.append(self)
         sim.call_soon(lambda: self._resume(None, None))
 
@@ -87,23 +97,32 @@ class Process(SimFuture):
             throw_exc, self._pending_kill = self._pending_kill, None
         self._in_resume = True
         self._started = True
+        # Generator code runs with this process installed as current, so
+        # spawned children and the tracer see the right context; restored
+        # before completion callbacks fire.
+        previous_process = self.sim.current_process
+        self.sim.current_process = self
         try:
             if throw_exc is not None:
                 yielded = self._generator.throw(throw_exc)
             else:
                 yielded = self._generator.send(send_value)
         except StopIteration as stop:
+            self.sim.current_process = previous_process
             self._in_resume = False
             self._finish_success(stop.value)
             return
         except ProcessKilled as killed:
+            self.sim.current_process = previous_process
             self._in_resume = False
             self._finish_failure(killed, unhandled=False)
             return
         except BaseException as exc:  # noqa: BLE001 - process body failed
+            self.sim.current_process = previous_process
             self._in_resume = False
             self._finish_failure(exc, unhandled=True)
             return
+        self.sim.current_process = previous_process
         self._in_resume = False
 
         if self._pending_kill is not None:

@@ -3,10 +3,16 @@
 Components emit timestamped records into the simulator's trace; tests and
 benchmark reports filter them by category.  Tracing is cheap when disabled
 (a single predicate check per emit).
+
+The log can be bounded (:meth:`Trace.set_capacity`): with a capacity set it
+behaves as a ring buffer — the newest records are kept, the oldest dropped
+and counted in :attr:`Trace.dropped` — so long benchmark runs cannot grow
+memory without bound.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Optional, TYPE_CHECKING
 
@@ -29,30 +35,64 @@ class TraceRecord:
 
 
 class Trace:
-    """Collects :class:`TraceRecord` objects during a run."""
+    """Collects :class:`TraceRecord` objects during a run.
 
-    def __init__(self, sim: "Simulator") -> None:
+    :param capacity: maximum records retained (ring buffer; oldest dropped
+        and counted in :attr:`dropped`).  ``None`` (the default) keeps
+        everything.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: Optional[int] = None) -> None:
         self._sim = sim
         self.enabled = False
-        self.records: list[TraceRecord] = []
+        self.records: deque[TraceRecord] = deque(maxlen=capacity)
+        #: records discarded because the ring buffer was full.
+        self.dropped = 0
         self._filter: Optional[Callable[[str], bool]] = None
 
+    @property
+    def capacity(self) -> Optional[int]:
+        return self.records.maxlen
+
+    def set_capacity(self, capacity: Optional[int]) -> None:
+        """Bound (or unbound) the log; keeps the newest records when
+        shrinking and counts the evicted ones in :attr:`dropped`."""
+        if capacity is not None and capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        before = len(self.records)
+        self.records = deque(self.records, maxlen=capacity)
+        self.dropped += before - len(self.records)
+
     def enable(self, categories: Optional[set[str]] = None) -> None:
-        """Turn tracing on, optionally restricted to ``categories``."""
+        """Turn tracing on, optionally restricted to ``categories``.
+
+        Passing ``categories=None`` (the default) clears any previously
+        installed category filter — re-enabling without arguments always
+        records everything again.  An *empty* set is honoured as "record
+        no categories" rather than treated as "no filter".
+        """
         self.enabled = True
-        self._filter = (lambda c: c in categories) if categories else None
+        self._filter = (
+            (lambda c: c in categories) if categories is not None else None
+        )
 
     def disable(self) -> None:
         self.enabled = False
 
     def clear(self) -> None:
         self.records.clear()
+        self.dropped = 0
 
     def emit(self, category: str, message: str, **fields: Any) -> None:
         if not self.enabled:
             return
         if self._filter is not None and not self._filter(category):
             return
+        if (
+            self.records.maxlen is not None
+            and len(self.records) == self.records.maxlen
+        ):
+            self.dropped += 1
         self.records.append(
             TraceRecord(self._sim.now, category, message, dict(fields))
         )

@@ -76,7 +76,7 @@ class NodeManager:
         self._last_busy_integral = busy
         self._last_sample_time = now
         self.samples_taken += 1
-        return LoadSample(
+        sample = LoadSample(
             host=self.host.name,
             time=now,
             cpu_utilization=min(1.0, max(0.0, utilization)),
@@ -84,6 +84,14 @@ class NodeManager:
             speed=self.host.speed,
             cores=self.host.cores,
         )
+        metrics = self.host.sim.obs.metrics
+        metrics.gauge(
+            "winner_cpu_utilization", host=sample.host
+        ).set(sample.cpu_utilization)
+        metrics.gauge(
+            "winner_run_queue", host=sample.host
+        ).set(float(sample.run_queue))
+        return sample
 
     def _run(self):
         sim = self.host.sim
@@ -104,6 +112,9 @@ class NodeManager:
                     seq=self._seq,
                 )
                 raw = report.encode()
+                sim.obs.metrics.counter(
+                    "winner_reports_sent_total", host=self.host.name
+                ).inc()
                 self.network.send(
                     self.host,
                     NODE_MANAGER_PORT,

@@ -104,6 +104,13 @@ class SystemManager:
         record.last_report_time = self.host.sim.now
         record.reports_received += 1
         self.reports_received += 1
+        metrics = self.host.sim.obs.metrics
+        metrics.counter(
+            "winner_reports_received_total", host=report.host
+        ).inc()
+        metrics.gauge(
+            "winner_host_score", host=report.host
+        ).set(self.ranking.score(record))
 
     # -- queries -----------------------------------------------------------------
 

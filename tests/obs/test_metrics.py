@@ -1,0 +1,121 @@
+"""Metrics registry: instruments, labels, percentile math, windowing."""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+
+
+def test_counter_get_or_create_by_name_and_labels():
+    registry = MetricsRegistry()
+    a = registry.counter("requests_total", host="ws00")
+    b = registry.counter("requests_total", host="ws00")
+    c = registry.counter("requests_total", host="ws01")
+    assert a is b
+    assert a is not c
+    a.inc()
+    a.inc(2.0)
+    assert a.value == 3.0
+    assert c.value == 0.0
+
+
+def test_counter_rejects_decrease():
+    registry = MetricsRegistry()
+    with pytest.raises(ValueError):
+        registry.counter("n").inc(-1)
+
+
+def test_gauge_moves_both_ways():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("queue_depth", host="ws00")
+    gauge.set(4)
+    gauge.inc()
+    gauge.dec(2)
+    assert gauge.value == 3.0
+
+
+def test_name_kind_conflict_rejected():
+    registry = MetricsRegistry()
+    registry.counter("latency")
+    with pytest.raises(ValueError):
+        registry.gauge("latency", host="ws00")
+
+
+def test_percentiles_nearest_rank():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("latency_seconds")
+    for value in range(1, 101):  # 1..100
+        histogram.observe(float(value))
+    assert histogram.percentile(50) == 50.0
+    assert histogram.percentile(95) == 95.0
+    assert histogram.percentile(99) == 99.0
+    assert histogram.percentile(0) == 1.0
+    assert histogram.percentile(100) == 100.0
+
+
+def test_percentile_of_empty_histogram_is_zero():
+    registry = MetricsRegistry()
+    assert registry.histogram("empty").percentile(50) == 0.0
+
+
+def test_percentile_single_sample():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("one")
+    histogram.observe(7.5)
+    for p in (1, 50, 99):
+        assert histogram.percentile(p) == 7.5
+
+
+def test_summary_fields():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("h")
+    for value in (1.0, 2.0, 3.0, 4.0):
+        histogram.observe(value)
+    summary = histogram.summary()
+    assert summary["count"] == 4
+    assert summary["sum"] == 10.0
+    assert summary["mean"] == 2.5
+    assert summary["min"] == 1.0
+    assert summary["max"] == 4.0
+    assert summary["p50"] == 2.0  # nearest rank: ceil(4*0.5)=2nd value
+
+
+def test_windowed_percentiles_follow_simulated_clock():
+    clock = {"now": 0.0}
+    registry = MetricsRegistry(clock=lambda: clock["now"])
+    histogram = registry.histogram("windowed", window=10.0)
+    # Old samples at t=0, fresh ones at t=100.
+    for value in (1.0, 1.0, 1.0):
+        histogram.observe(value)
+    clock["now"] = 100.0
+    for value in (9.0, 9.0):
+        histogram.observe(value)
+    # Only the t=100 samples fall inside the 10 s window.
+    assert histogram.percentile(50) == 9.0
+    # Cumulative stats still cover everything.
+    assert histogram.count == 5
+    assert histogram.sum == 21.0
+
+
+def test_histogram_reservoir_is_bounded():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("bounded", max_samples=8)
+    for value in range(100):
+        histogram.observe(float(value))
+    assert len(histogram._samples) == 8
+    assert histogram.count == 100  # cumulative count is not dropped
+    assert histogram.percentile(1) == 92.0  # oldest retained sample
+
+
+def test_snapshot_shape():
+    registry = MetricsRegistry()
+    registry.counter("a", host="ws00").inc()
+    registry.histogram("b").observe(1.0)
+    snapshot = registry.snapshot()
+    assert [entry["name"] for entry in snapshot] == ["a", "b"]
+    assert snapshot[0] == {
+        "name": "a",
+        "kind": "counter",
+        "labels": {"host": "ws00"},
+        "value": 1.0,
+    }
+    assert snapshot[1]["value"]["count"] == 1

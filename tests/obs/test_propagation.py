@@ -1,0 +1,112 @@
+"""End-to-end trace propagation — the observability acceptance scenario.
+
+A fault-tolerant invocation that dies with ``COMM_FAILURE``, recovers from
+its checkpoint on another host and retries must come out as ONE causally
+linked span tree: a single trace id covering the client proxy call, the
+naming ``resolve``, the failed attempt, the checkpoint restore and the
+retried call — exportable as a valid Chrome ``trace_event`` document.
+"""
+
+import json
+
+from repro.obs.exporters import chrome_trace
+
+from tests.ft.conftest import CounterImpl, FtWorld
+
+
+def _run_recovered_call(world):
+    ior = world.runtime.orb(1).poa.activate(CounterImpl())
+    proxy = world.proxy(ior)
+    world.settle()
+
+    def client():
+        for _ in range(3):
+            yield proxy.increment(2)
+        world.cluster.host(1).crash()
+        return (yield proxy.value())
+
+    assert world.run(client()) == 6
+    return world.runtime.obs.tracer
+
+
+def test_recovered_invocation_is_one_trace():
+    world = FtWorld()
+    tracer = _run_recovered_call(world)
+
+    # The recovered call's root span is the LAST ft:value span.
+    roots = [
+        span
+        for span in tracer.spans
+        if span.name == "ft:value" and span.parent_id is None
+    ]
+    assert roots, "FT proxy must open a root span per wrapped call"
+    root = roots[-1]
+    spans = tracer.trace(root.trace_id)
+    names = [span.name for span in spans]
+
+    # One trace id covers the client call, the failed attempt, the naming
+    # resolve, the recovery (incl. checkpoint restore) and the retry.
+    assert names.count("call:value") >= 2  # failed attempt + retry
+    assert "ft:recover" in names
+    assert "call:resolve" in names  # factory group through naming
+    assert "call:load" in names  # checkpoint fetched from the store
+    assert "call:restore_from" in names  # ... and restored on the new host
+    assert "serve:value" in names  # server side joined via GIOP context
+
+    # The failed attempt is marked, the retry is clean.
+    attempts = [span for span in spans if span.name == "call:value"]
+    assert attempts[0].status == "error"
+    assert attempts[0].error == "COMM_FAILURE"
+    assert attempts[-1].status == "ok"
+
+    # Causal linkage: every span's parent is in the same trace.
+    ids = {span.span_id for span in spans}
+    for span in spans:
+        if span.parent_id is not None:
+            assert span.parent_id in ids
+
+    # The retried dispatch ran on the recovered replica's host — anywhere
+    # but the crashed ws01 — and still joined the client's trace.
+    serve_hosts = {span.host for span in spans if span.name == "serve:value"}
+    assert serve_hosts
+    assert "ws01" not in serve_hosts
+
+
+def test_recovered_invocation_exports_valid_chrome_trace():
+    world = FtWorld()
+    tracer = _run_recovered_call(world)
+    document = chrome_trace(tracer.spans, now=world.sim.now)
+
+    encoded = json.dumps(document)
+    decoded = json.loads(encoded)
+    assert decoded["displayTimeUnit"] == "ms"
+    events = decoded["traceEvents"]
+    assert all(event["ph"] in ("X", "M") for event in events)
+    complete = [event for event in events if event["ph"] == "X"]
+    assert complete, "expected complete events"
+    for event in complete:
+        assert event["dur"] >= 0.0
+        assert event["ts"] >= 0.0
+        assert isinstance(event["pid"], int)
+        assert isinstance(event["tid"], int)
+        assert "trace_id" in event["args"]
+
+    # The recovery span made it into the export.
+    assert any(event["name"] == "ft:recover" for event in complete)
+
+
+def test_metrics_cover_the_recovery_path():
+    world = FtWorld()
+    _run_recovered_call(world)
+    metrics = world.runtime.obs.metrics
+    snapshot = {
+        (entry["name"], tuple(sorted(entry["labels"].items()))): entry["value"]
+        for entry in metrics.snapshot()
+    }
+    key = (("service", "counter-1"),)
+    assert snapshot[("ft_recoveries_total", key)] == 1.0
+    assert snapshot[("ft_retries_total", key)] >= 1.0
+    assert snapshot[("ft_checkpoints_total", key)] >= 3.0
+    latency = snapshot[("ft_recovery_seconds", key)]
+    assert latency["count"] == 1
+    assert latency["p50"] > 0.0

@@ -1,0 +1,109 @@
+"""Tracer: span lifecycle, context propagation, bounded retention."""
+
+import pytest
+
+from repro.obs.trace import TraceContext
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=1)
+
+
+def test_span_context_manager_finishes_and_restores(sim):
+    tracer = sim.obs.tracer
+    with tracer.span("outer") as outer:
+        assert tracer.current == outer.context
+        with tracer.span("inner") as inner:
+            assert inner.trace_id == outer.trace_id
+            assert inner.parent_id == outer.span_id
+        assert tracer.current == outer.context
+    assert tracer.current is None
+    names = [span.name for span in tracer.spans]
+    assert names == ["inner", "outer"]  # finished in close order
+    assert all(span.end is not None for span in tracer.spans)
+
+
+def test_span_marks_error_on_exception(sim):
+    tracer = sim.obs.tracer
+    with pytest.raises(RuntimeError):
+        with tracer.span("doomed"):
+            raise RuntimeError("boom")
+    (span,) = tracer.spans
+    assert span.status == "error"
+    assert span.error == "RuntimeError"
+
+
+def test_parent_none_starts_fresh_trace(sim):
+    tracer = sim.obs.tracer
+    with tracer.span("a"):
+        root = tracer.start_span("b", parent=None)
+        root.finish()
+    ids = {span.trace_id for span in tracer.spans}
+    assert len(ids) == 2
+
+
+def test_spawned_process_inherits_trace_context(sim):
+    tracer = sim.obs.tracer
+    seen = {}
+
+    def child():
+        seen["context"] = tracer.current
+        yield sim.timeout(0.1)
+
+    def parent():
+        with tracer.span("root") as span:
+            sim.spawn(child())
+            seen["root"] = span.context
+            yield sim.timeout(1.0)
+
+    sim.run_until_done(sim.spawn(parent()))
+    assert seen["context"] == seen["root"]
+
+
+def test_context_is_process_local(sim):
+    tracer = sim.obs.tracer
+    observed = []
+
+    def traced():
+        with tracer.span("mine"):
+            yield sim.timeout(1.0)
+
+    def bystander():
+        yield sim.timeout(0.5)
+        observed.append(tracer.current)
+
+    sim.spawn(traced())
+    sim.spawn(bystander())
+    sim.run(until=2.0)
+    assert observed == [None]  # the other process never saw the span
+
+
+def test_span_ring_is_bounded_and_counts_drops(sim):
+    from repro.obs.trace import Tracer
+
+    tracer = Tracer(sim, capacity=4)
+    for index in range(10):
+        tracer.start_span(f"s{index}", parent=None).finish()
+    assert len(tracer.spans) == 4
+    assert tracer.dropped == 6
+    assert [span.name for span in tracer.spans] == ["s6", "s7", "s8", "s9"]
+
+
+def test_trace_context_wire_round_trip():
+    context = TraceContext("00000000000a", "0000000b")
+    assert TraceContext.decode(context.encode()) == context
+    assert TraceContext.decode(b"garbage") is None
+    assert TraceContext.decode(b":") is None
+    assert TraceContext.decode(b"\xff\xfe:x") is None
+
+
+def test_trace_query_sorted_by_start(sim):
+    tracer = sim.obs.tracer
+    with tracer.span("root") as root:
+        sim.now = 1.0  # advance simulated time directly
+        child = tracer.start_span("child")
+        child.finish()
+    spans = tracer.trace(root.trace_id)
+    assert [span.name for span in spans] == ["root", "child"]

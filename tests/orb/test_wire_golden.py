@@ -88,8 +88,32 @@ def test_request_message_stable_size():
     raw = giop.encode_message(message)
     # Frozen: header(7) + pad + id(4) + flag(1) + pad(3) + key(4+11) +
     # pad(1) + op(4+6) + pad(2) + incarnation(4) + host(4+5) + pad(3) +
-    # port(4) + body(4+16).
-    assert len(raw) == 84
+    # port(4) + service-context count(4) + body(4+16).
+    assert len(raw) == 88
+
+
+def test_request_service_context_golden():
+    """Service contexts ride between the fixed header and the body."""
+    message = giop.RequestMessage(
+        request_id=1,
+        response_expected=True,
+        object_key=b"k",
+        operation="op",
+        target_incarnation=1,
+        reply_host="ws00",
+        reply_port=20000,
+        body=b"",
+        service_contexts=((0x54524358, b"1:2"),),
+    )
+    raw = giop.encode_message(message)
+    assert (
+        "00000001"            # one service context
+        "54524358"            # context id 'TRCX'
+        "00000003" + hexdump(b"1:2")  # context data octets
+    ) in hexdump(raw)
+    decoded = giop.decode_message(raw)
+    assert decoded.service_contexts == ((0x54524358, b"1:2"),)
+    assert decoded.body == b""
 
 
 def test_any_encoding_golden_for_int():

@@ -1,0 +1,78 @@
+"""The simulation trace log: bounded retention and filter semantics."""
+
+from repro.sim import Simulator
+
+
+def make_trace(capacity=None):
+    sim = Simulator(seed=1)
+    if capacity is not None:
+        sim.trace.set_capacity(capacity)
+    sim.trace.enable()
+    return sim.trace
+
+
+def test_unbounded_by_default():
+    trace = make_trace()
+    assert trace.capacity is None
+    for index in range(100):
+        trace.emit("test", "m", index=index)
+    assert len(trace) == 100
+    assert trace.dropped == 0
+
+
+def test_ring_buffer_drops_oldest_and_counts():
+    trace = make_trace(capacity=5)
+    for index in range(12):
+        trace.emit("test", "m", index=index)
+    assert len(trace) == 5
+    assert trace.dropped == 7
+    assert [record.fields["index"] for record in trace] == [7, 8, 9, 10, 11]
+
+
+def test_shrinking_capacity_evicts_and_counts():
+    trace = make_trace()
+    for index in range(10):
+        trace.emit("test", "m", index=index)
+    trace.set_capacity(3)
+    assert len(trace) == 3
+    assert trace.dropped == 7
+    assert [record.fields["index"] for record in trace] == [7, 8, 9]
+    # Growing back keeps what is there.
+    trace.set_capacity(100)
+    assert len(trace) == 3
+
+
+def test_clear_resets_drop_counter():
+    trace = make_trace(capacity=2)
+    for _ in range(5):
+        trace.emit("test", "m")
+    trace.clear()
+    assert len(trace) == 0
+    assert trace.dropped == 0
+
+
+def test_enable_without_categories_clears_previous_filter():
+    trace = make_trace()
+    trace.enable(categories={"keep"})
+    trace.emit("keep", "a")
+    trace.emit("drop", "b")
+    assert [record.category for record in trace] == ["keep"]
+    # Re-enabling with the default must clear the old filter.
+    trace.enable()
+    trace.emit("drop", "c")
+    assert [record.category for record in trace] == ["keep", "drop"]
+
+
+def test_enable_with_empty_set_records_nothing():
+    trace = make_trace()
+    trace.enable(categories=set())
+    trace.emit("anything", "m")
+    assert len(trace) == 0
+
+
+def test_structured_fields_round_trip():
+    trace = make_trace()
+    trace.emit("ft", "recovered", service="counter-1", new_host="ws03")
+    (record,) = trace
+    assert record.fields == {"service": "counter-1", "new_host": "ws03"}
+    assert "service=counter-1" in str(record)
