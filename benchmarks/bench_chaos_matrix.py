@@ -1,0 +1,127 @@
+"""The chaos campaign matrix (DESIGN.md: robustness beyond the paper).
+
+Runs the full scenario catalogue across several seeds — every cell
+deploys a complete runtime, runs the accumulator stream and the
+distributed Rosenbrock optimization concurrently while faults fire, and
+checks the campaign invariants (convergence, exactly-once from the
+client's view, bounded recovery time, consistent breaker accounting).
+Also runs the breaker-vs-fixed-backoff ablation: the per-host circuit
+breaker must measurably reduce recovery attempts against a flapping
+host."""
+
+from repro.bench import format_table
+from repro.chaos import (
+    CampaignConfig,
+    breaker_ablation,
+    export_campaign_metrics,
+    run_campaign,
+)
+
+
+def test_chaos_matrix(benchmark, save_result):
+    config = CampaignConfig(seeds=(11, 12, 13, 14, 15))
+    result = benchmark.pedantic(
+        lambda: run_campaign(config), rounds=1, iterations=1
+    )
+
+    scenarios = config.scenario_list()
+    assert len(scenarios) >= 6
+    assert len(config.seeds) >= 5
+    assert result.violations == [], result.violations
+
+    # The store-outage cells must actually exercise degraded mode.
+    outage = [r for r in result.reports if r.scenario == "store-outage"]
+    assert outage and all(r.checkpoints_buffered > 0 for r in outage)
+    assert all(
+        r.checkpoints_flushed > 0 or r.restores_from_buffer > 0
+        for r in outage
+    )
+    # And something, somewhere, must have needed recovering.
+    assert sum(r.recoveries for r in result.reports) >= len(config.seeds)
+
+    text = format_table(
+        ["scenario", "seed", "acc ok/total", "recoveries", "buffered",
+         "max recovery [s]", "violations"],
+        [
+            [
+                r.scenario,
+                r.seed,
+                f"{r.acc_ok}/{r.acc_ok + r.acc_failed}",
+                r.recoveries,
+                r.checkpoints_buffered,
+                f"{r.recovery_max_seconds:.3f}",
+                len(r.violations),
+            ]
+            for r in result.reports
+        ],
+        title=(
+            f"Chaos campaign: {len(scenarios)} scenarios x "
+            f"{len(config.seeds)} seeds, all invariants checked"
+        ),
+    )
+
+    # -- breaker ablation ------------------------------------------------------
+    ablation_rows = []
+    for seed in config.seeds[:3]:
+        ablation_rows.append((seed, breaker_ablation(seed)))
+    for seed, (fixed, breakers) in ablation_rows:
+        assert fixed.state_correct and breakers.state_correct
+        assert breakers.attempts_total < fixed.attempts_total, (
+            f"seed {seed}: breakers did not reduce recovery attempts "
+            f"({breakers.attempts_total} vs {fixed.attempts_total})"
+        )
+        assert breakers.factory_failures < fixed.factory_failures
+        assert (
+            breakers.placements_on_flapper <= fixed.placements_on_flapper
+        )
+
+    ablation_text = format_table(
+        ["seed", "mode", "recoveries", "attempts", "factory failures",
+         "breaker skips", "flapper placements"],
+        [
+            [seed, row.mode, row.recoveries, row.attempts_total,
+             row.factory_failures, row.breaker_skips,
+             row.placements_on_flapper]
+            for seed, rows in ablation_rows
+            for row in rows
+        ],
+        title="Breaker ablation: fixed backoff vs. circuit breakers "
+        "(flapping-host trap)",
+    )
+
+    save_result(
+        "chaos_matrix",
+        text + "\n\n" + ablation_text,
+        {
+            "campaign": result.to_dict(),
+            "ablation": [
+                {"seed": seed, "rows": [row.to_dict() for row in rows]}
+                for seed, rows in ablation_rows
+            ],
+        },
+    )
+
+    from pathlib import Path
+
+    from repro.obs import MetricsRegistry
+    from repro.obs.exporters import prometheus_text
+    from repro.bench.reporting import write_json
+
+    results_dir = Path(__file__).parent / "results"
+
+    registry = MetricsRegistry()
+    export_campaign_metrics(result, registry)
+    for seed, rows in ablation_rows:
+        for row in rows:
+            labels = {"seed": seed, "mode": row.mode}
+            registry.gauge("chaos_ablation_recovery_attempts", **labels).set(
+                row.attempts_total
+            )
+            registry.gauge("chaos_ablation_factory_failures", **labels).set(
+                row.factory_failures
+            )
+    results_dir.mkdir(parents=True, exist_ok=True)
+    write_json(results_dir / "BENCH_chaos_matrix.json", registry.snapshot())
+    (results_dir / "BENCH_chaos_matrix.prom").write_text(
+        prometheus_text(registry)
+    )

@@ -1,0 +1,50 @@
+"""Chaos campaigns: composed fault scenarios + invariant checking.
+
+The paper demonstrates fault tolerance against one fault shape — a clean
+host crash.  This package stress-tests the same runtime against the
+fault *taxonomy* real deployments see (partitions, latency surges, gray
+hosts, flapping, storage outages, message loss), all deterministic
+under seeded randomness:
+
+* :mod:`repro.chaos.scenarios` — the scenario catalogue;
+* :mod:`repro.chaos.campaign` — the matrix runner (scenario × seed)
+  and the breaker-vs-fixed-backoff ablation;
+* :mod:`repro.chaos.invariants` — what must hold after every run;
+* ``python -m repro.chaos`` — the CLI the CI chaos job runs.
+"""
+
+from repro.chaos.campaign import (
+    AblationReport,
+    CampaignConfig,
+    CampaignResult,
+    ScenarioReport,
+    breaker_ablation,
+    export_campaign_metrics,
+    run_campaign,
+    run_scenario,
+)
+from repro.chaos.invariants import check_report
+from repro.chaos.scenarios import (
+    SCENARIOS,
+    ChaosScenario,
+    ScenarioEnv,
+    get_scenario,
+    scenario_names,
+)
+
+__all__ = [
+    "AblationReport",
+    "CampaignConfig",
+    "CampaignResult",
+    "ChaosScenario",
+    "SCENARIOS",
+    "ScenarioEnv",
+    "ScenarioReport",
+    "breaker_ablation",
+    "check_report",
+    "export_campaign_metrics",
+    "get_scenario",
+    "run_campaign",
+    "run_scenario",
+    "scenario_names",
+]

@@ -1,0 +1,87 @@
+"""CLI for the chaos campaign: ``python -m repro.chaos``.
+
+Runs the scenario × seed matrix, prints one line per cell and a final
+verdict, optionally writes the machine-readable result, and exits
+non-zero when any invariant was violated — the contract the CI chaos
+job relies on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.chaos.campaign import CampaignConfig, run_campaign
+from repro.chaos.scenarios import scenario_names
+
+
+def _parse_seeds(text: str) -> tuple[int, ...]:
+    return tuple(int(part) for part in text.split(",") if part.strip())
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.chaos",
+        description="Run the chaos campaign matrix and check invariants.",
+    )
+    parser.add_argument(
+        "--scenarios",
+        default=",".join(scenario_names()),
+        help="comma-separated scenario names (default: all)",
+    )
+    parser.add_argument(
+        "--seeds",
+        default="11,12,13",
+        type=_parse_seeds,
+        help="comma-separated seeds (default: 11,12,13)",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="trimmed workload (CI shape): shorter horizon, fewer calls",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="write the full campaign result as JSON",
+    )
+    args = parser.parse_args(argv)
+
+    scenarios = tuple(s for s in args.scenarios.split(",") if s.strip())
+    config = CampaignConfig.fast(args.seeds) if args.fast else CampaignConfig(
+        seeds=args.seeds
+    )
+    config.scenarios = scenarios
+
+    def progress(report):
+        status = "ok" if report.ok else "FAIL"
+        print(
+            f"[{status:>4}] {report.scenario:<16} seed={report.seed:<4} "
+            f"acc={report.acc_ok}/{report.acc_ok + report.acc_failed} "
+            f"recoveries={report.recoveries} "
+            f"buffered={report.checkpoints_buffered} "
+            f"sim={report.sim_seconds:.2f}s"
+        )
+        for violation in report.violations:
+            print(f"       violation: {violation}")
+
+    result = run_campaign(config, progress=progress)
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(result.to_dict(), fh, indent=2, default=str)
+        print(f"wrote {args.json}")
+
+    cells = len(result.reports)
+    bad = sum(1 for r in result.reports if not r.ok)
+    print(
+        f"\nchaos campaign: {cells} cells "
+        f"({len(scenarios)} scenarios x {len(config.seeds)} seeds), "
+        f"{cells - bad} passed, {bad} failed"
+    )
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

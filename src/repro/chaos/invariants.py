@@ -1,0 +1,133 @@
+"""Invariants every chaos run must satisfy, whatever faults were injected.
+
+The campaign treats these as the system's contract under failure:
+
+* **liveness** — the accumulator stream and the distributed optimization
+  both run to completion (the optimizer converges to a finite value);
+* **exactly-once, client's view** — the accumulator's final total equals
+  the number of *acknowledged* ``add`` calls: a call that raised must not
+  have left a surviving update, a call that returned must have left
+  exactly one (checkpoint/restart recovery restores the last
+  acknowledged state, so neither retries nor restarts may double-count);
+* **bounded recovery** — no successful recovery took longer than the
+  policy's ``recovery_deadline``;
+* **consistent breaker accounting** — the breaker objects' own counters
+  agree with what they published through the metrics registry;
+* **clean plumbing** — no network drop listener raised, no checkpoint
+  remained stranded in a degraded-mode buffer at the end of the run.
+
+Each check returns violation strings; an empty list means the run passed.
+"""
+
+from __future__ import annotations
+
+from math import isfinite
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.chaos.campaign import ScenarioReport
+
+#: slack on the recovery deadline: the coordinator checks the deadline
+#: *between* attempts, so the last attempt may finish slightly past it.
+DEADLINE_SLACK = 0.25
+
+
+def counter_total(registry, name: str, **labels) -> float:
+    """Sum every counter called ``name`` whose labels include ``labels``."""
+    total = 0.0
+    for instrument in registry:
+        if instrument.kind != "counter" or instrument.name != name:
+            continue
+        have = instrument.label_dict
+        if all(have.get(k) == str(v) for k, v in labels.items()):
+            total += instrument.value_repr()
+    return total
+
+
+def histogram_max(registry, name: str) -> float:
+    """The largest observation across every histogram called ``name``."""
+    largest = 0.0
+    for instrument in registry:
+        if instrument.kind == "histogram" and instrument.name == name:
+            if instrument.count:
+                largest = max(largest, instrument.max)
+    return largest
+
+
+def check_report(report: "ScenarioReport") -> list[str]:
+    """All invariant violations of one scenario run (empty = pass)."""
+    violations: list[str] = []
+
+    # liveness -----------------------------------------------------------------
+    if report.acc_final_total is None:
+        violations.append(
+            "accumulator stream never produced a final total "
+            f"(errors: {report.acc_errors})"
+        )
+    if report.opt_enabled:
+        if report.opt_error is not None:
+            violations.append(f"optimizer failed: {report.opt_error}")
+        elif report.opt_fun is None or not isfinite(report.opt_fun):
+            violations.append(f"optimizer value not finite: {report.opt_fun}")
+
+    # exactly-once (client's view) ---------------------------------------------
+    if report.acc_final_total is not None:
+        if abs(report.acc_final_total - report.acc_ok) > 1e-9:
+            violations.append(
+                f"exactly-once violated: final total {report.acc_final_total} "
+                f"!= {report.acc_ok} acknowledged calls "
+                f"({report.acc_failed} raised)"
+            )
+
+    # bounded recovery ---------------------------------------------------------
+    if (
+        report.recovery_deadline is not None
+        and report.recovery_max_seconds > report.recovery_deadline + DEADLINE_SLACK
+    ):
+        violations.append(
+            f"a recovery took {report.recovery_max_seconds:.3f}s, over the "
+            f"{report.recovery_deadline}s deadline"
+        )
+
+    # breaker accounting -------------------------------------------------------
+    snap_opens = sum(b["opens"] for b in report.breaker_snapshot)
+    snap_rejections = sum(b["rejections"] for b in report.breaker_snapshot)
+    if snap_opens != report.metric_breaker_opens:
+        violations.append(
+            f"breaker open-count mismatch: objects say {snap_opens}, "
+            f"metrics say {report.metric_breaker_opens}"
+        )
+    if snap_rejections != report.metric_breaker_rejections:
+        violations.append(
+            f"breaker rejection-count mismatch: objects say "
+            f"{snap_rejections}, metrics say {report.metric_breaker_rejections}"
+        )
+    for b in report.breaker_snapshot:
+        if b["state"] not in ("closed", "open", "half-open"):
+            violations.append(f"breaker {b['host']} in bogus state {b['state']}")
+
+    # clean plumbing -----------------------------------------------------------
+    if report.drop_listener_errors:
+        violations.append(
+            f"{report.drop_listener_errors} network drop listener error(s)"
+        )
+    if report.checkpoint_buffer_depth_end:
+        violations.append(
+            f"{report.checkpoint_buffer_depth_end} checkpoint(s) stranded in "
+            "degraded-mode buffers at end of run"
+        )
+
+    # scenario-specific expectations -------------------------------------------
+    if report.expects.get("degraded_flush"):
+        if not report.checkpoints_buffered:
+            violations.append(
+                "expected degraded-mode buffering during the store outage, "
+                "but no checkpoint was ever buffered"
+            )
+        elif not (report.checkpoints_flushed or report.restores_from_buffer):
+            violations.append(
+                "buffered checkpoints were neither flushed to the store nor "
+                "used for a restore"
+            )
+
+    return violations

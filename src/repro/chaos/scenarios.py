@@ -1,0 +1,185 @@
+"""The chaos scenario catalogue.
+
+Each scenario is a named, deterministic composition of fault injections
+(see :class:`repro.cluster.FailureInjector`) installed over a fixed
+stretch of simulated time while the campaign workload runs.  Scenarios
+only *schedule* faults — everything fires off the simulator's seeded
+clock, so a (scenario, seed) cell replays bit-identically.
+
+Timing is expressed as fractions of the scenario window so the same
+catalogue works for the quick CI campaign and the full bench matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, TYPE_CHECKING
+
+from repro.cluster.failures import FailurePlan
+from repro.winner.protocol import SYSTEM_MANAGER_PORT
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.failures import FailureInjector
+    from repro.core.runtime import Runtime
+
+
+@dataclass
+class ScenarioEnv:
+    """Everything a scenario may touch when installing its faults.
+
+    ``start``/``horizon`` delimit the fault window (absolute simulated
+    seconds); the workload keeps running a little past ``start + horizon``
+    so late heals and checkpoint-buffer flushes are observed.
+    """
+
+    runtime: "Runtime"
+    injector: "FailureInjector"
+    start: float
+    horizon: float
+    #: the host running naming/store/Winner *and* the client — never a
+    #: fault target (a real operator does not chaos-test the coordinator).
+    service_host: str
+    #: hosts carrying the accumulator and optimizer servants, in
+    #: deployment order (the accumulator starts on ``worker_hosts[0]``).
+    worker_hosts: list[str] = field(default_factory=list)
+
+    def at(self, fraction: float) -> float:
+        """Absolute time ``fraction`` of the way into the fault window."""
+        return self.start + fraction * self.horizon
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    name: str
+    description: str
+    install: Callable[[ScenarioEnv], None]
+    #: extra invariant expectations, e.g. {"degraded_flush": True}.
+    expects: dict = field(default_factory=dict)
+
+
+#: the scenario registry, in definition order.
+SCENARIOS: dict[str, ChaosScenario] = {}
+
+
+def _scenario(name: str, description: str, **expects):
+    def register(install: Callable[[ScenarioEnv], None]) -> ChaosScenario:
+        scenario = ChaosScenario(name, description, install, dict(expects))
+        SCENARIOS[name] = scenario
+        return scenario
+
+    return register
+
+
+def get_scenario(name: str) -> ChaosScenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(SCENARIOS)
+        raise KeyError(f"unknown chaos scenario {name!r} (known: {known})")
+
+
+def scenario_names() -> list[str]:
+    return list(SCENARIOS)
+
+
+# -- the catalogue ------------------------------------------------------------
+
+
+@_scenario("baseline", "no faults; the invariant control cell")
+def _baseline(env: ScenarioEnv) -> None:
+    pass
+
+
+@_scenario(
+    "crash-restart",
+    "two worker hosts crash mid-run and restart (the paper's fault model)",
+)
+def _crash_restart(env: ScenarioEnv) -> None:
+    down = min(0.6, 0.15 * env.horizon)
+    env.injector.schedule(
+        FailurePlan(env.worker_hosts[0], env.at(0.25), restart_after=down)
+    )
+    env.injector.schedule(
+        FailurePlan(env.worker_hosts[1], env.at(0.55), restart_after=down)
+    )
+
+
+@_scenario(
+    "partition-heal",
+    "the accumulator's host is partitioned from the service host, then heals",
+)
+def _partition_heal(env: ScenarioEnv) -> None:
+    env.injector.schedule_partition(
+        env.service_host,
+        env.worker_hosts[0],
+        at=env.at(0.2),
+        heal_after=0.2 * env.horizon,
+    )
+
+
+@_scenario(
+    "latency-spike",
+    "every network path slows 4x with added jitter for part of the run",
+)
+def _latency_spike(env: ScenarioEnv) -> None:
+    env.injector.schedule_latency_spike(
+        at=env.at(0.2),
+        duration=0.35 * env.horizon,
+        factor=4.0,
+        extra=0.015,
+        jitter=0.005,
+    )
+
+
+@_scenario(
+    "gray-host",
+    "the accumulator's host silently degrades to 8% CPU speed (gray failure)",
+)
+def _gray_host(env: ScenarioEnv) -> None:
+    env.injector.schedule_gray_host(
+        env.worker_hosts[0],
+        at=env.at(0.2),
+        factor=0.08,
+        duration=0.4 * env.horizon,
+    )
+
+
+@_scenario(
+    "flapping",
+    "one worker host crash/restarts repeatedly (three quick cycles)",
+)
+def _flapping(env: ScenarioEnv) -> None:
+    env.injector.schedule_flapping(
+        env.worker_hosts[1],
+        at=env.at(0.15),
+        cycles=3,
+        down_time=min(0.3, 0.08 * env.horizon),
+        up_time=min(0.45, 0.12 * env.horizon),
+    )
+
+
+@_scenario(
+    "store-outage",
+    "the checkpoint store rejects every request for a stretch; proxies "
+    "must buffer checkpoints and flush on recovery",
+    degraded_flush=True,
+)
+def _store_outage(env: ScenarioEnv) -> None:
+    store = env.runtime.store_servant
+    assert store is not None
+    env.injector.schedule_store_outage(
+        store, at=env.at(0.2), duration=0.3 * env.horizon
+    )
+
+
+@_scenario(
+    "loss-burst",
+    "35% of Winner load-report datagrams are dropped for most of the run",
+)
+def _loss_burst(env: ScenarioEnv) -> None:
+    env.injector.schedule_loss_burst(
+        at=env.at(0.1),
+        duration=0.6 * env.horizon,
+        rate=0.35,
+        ports={SYSTEM_MANAGER_PORT},
+    )

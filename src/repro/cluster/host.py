@@ -52,6 +52,11 @@ class Host:
         #: stale messages addressed to a previous incarnation be discarded.
         self.incarnation = 0
         self.crash_count = 0
+        #: nominal benchmark rating; ``speed`` stays at this value even
+        #: while the delivered CPU rate is degraded (a gray host *looks*
+        #: healthy to Winner's static rating).
+        self.base_speed = speed
+        self._degrade_factor = 1.0
 
     # -- state ---------------------------------------------------------------
 
@@ -84,6 +89,42 @@ class Host:
             return future
         return self.cpu.execute(work)
 
+    # -- gray degradation -----------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        return self._degrade_factor != 1.0
+
+    def degrade(self, factor: float) -> None:
+        """Deliver only ``factor`` of the nominal CPU rate (gray host).
+
+        The host stays *up* — it accepts calls and answers pings — it is
+        just slow, the failure shape crash detection cannot see.
+        """
+        if not 0.0 < factor <= 1.0:
+            raise HostDownError(f"degrade factor must be in (0, 1], got {factor}")
+        self._degrade_factor = factor
+        self.cpu.set_speed(self.base_speed * factor)
+        self.sim.trace.emit("host", "degraded", host=self.name, factor=factor)
+        self.sim.obs.metrics.gauge(
+            "host_degrade_factor", host=self.name
+        ).set(factor)
+        if factor < 1.0:
+            self.sim.obs.metrics.counter(
+                "host_degradations_total", host=self.name
+            ).inc()
+
+    def restore_speed(self) -> None:
+        """Undo :meth:`degrade`; the CPU returns to its nominal rate."""
+        if self._degrade_factor == 1.0:
+            return
+        self._degrade_factor = 1.0
+        self.cpu.set_speed(self.base_speed)
+        self.sim.trace.emit("host", "degradation healed", host=self.name)
+        self.sim.obs.metrics.gauge(
+            "host_degrade_factor", host=self.name
+        ).set(1.0)
+
     # -- crash / restart ---------------------------------------------------------
 
     def on_crash(self, listener: Callable[["Host"], None]) -> None:
@@ -115,6 +156,10 @@ class Host:
             return
         self._up = True
         self.incarnation += 1
+        if self._degrade_factor != 1.0:
+            # A reboot clears whatever was slowing the machine down.
+            self._degrade_factor = 1.0
+            self.cpu.set_speed(self.base_speed)
         self.sim.trace.emit(
             "host", "restarted", host=self.name, incarnation=self.incarnation
         )

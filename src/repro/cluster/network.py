@@ -68,11 +68,20 @@ class Network:
         #: Winner's report port.
         self._loss_rate = 0.0
         self._loss_ports: Optional[set[int]] = None
+        #: latency surge state (chaos injection): base latency is scaled by
+        #: ``latency_factor``, ``extra_latency`` is added flat, and a
+        #: per-message exponential jitter of mean ``latency_jitter`` rides on
+        #: top (drawn from the seeded "network-jitter" stream, so surged
+        #: runs stay reproducible).
+        self.latency_factor = 1.0
+        self.extra_latency = 0.0
+        self.latency_jitter = 0.0
         #: counters for reports
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
         self.bytes_sent = 0
+        self.drop_listener_errors = 0
 
     # -- topology -------------------------------------------------------------
 
@@ -96,11 +105,20 @@ class Network:
     def heal(self, a: str, b: str) -> None:
         self._partitions.discard(frozenset((a, b)))
 
+    #: operator-facing alias of :meth:`heal`.
+    unpartition = heal
+
     def heal_all(self) -> None:
         self._partitions.clear()
 
+    #: operator-facing alias of :meth:`heal_all`.
+    clear_partitions = heal_all
+
     def is_partitioned(self, a: str, b: str) -> bool:
         return frozenset((a, b)) in self._partitions
+
+    def partition_count(self) -> int:
+        return len(self._partitions)
 
     # -- ports ---------------------------------------------------------------
 
@@ -134,7 +152,34 @@ class Network:
     def delay(self, src: str, dst: str, size: int) -> float:
         if src == dst:
             return self.local_latency
-        return self.latency + size / self.bandwidth
+        base = (
+            self.latency * self.latency_factor
+            + self.extra_latency
+            + size / self.bandwidth
+        )
+        if self.latency_jitter > 0.0:
+            base += float(
+                self.sim.rng("network-jitter").exponential(self.latency_jitter)
+            )
+        return base
+
+    def set_latency_surge(
+        self,
+        factor: float = 1.0,
+        extra: float = 0.0,
+        jitter: float = 0.0,
+    ) -> None:
+        """Install (or clear, with defaults) a latency surge on every
+        host-to-host path: base latency × ``factor`` + ``extra`` seconds,
+        plus exponential jitter of mean ``jitter`` seconds per message."""
+        if factor <= 0 or extra < 0 or jitter < 0:
+            raise SimulationError("invalid latency surge parameters")
+        self.latency_factor = factor
+        self.extra_latency = extra
+        self.latency_jitter = jitter
+
+    def clear_latency_surge(self) -> None:
+        self.set_latency_surge()
 
     def send(
         self,
@@ -210,31 +255,56 @@ class Network:
         self._loss_ports = set(ports) if ports is not None else None
 
     def add_drop_listener(self, listener) -> None:
-        """``listener(datagram)`` is invoked for every dropped message."""
+        """``listener(datagram)`` is invoked for every dropped message.
+
+        A listener that raises must not abort delivery bookkeeping or
+        starve the remaining listeners: the exception is swallowed, traced
+        and counted in ``network_drop_listener_errors_total``.
+        """
         self._drop_listeners.append(listener)
 
-    def _drop(self, datagram: Datagram) -> None:
+    def _drop(self, datagram: Datagram, reason: str = "unreachable") -> None:
         self.messages_dropped += 1
-        for listener in self._drop_listeners:
-            listener(datagram)
+        self.sim.obs.metrics.counter(
+            "network_dropped_total", reason=reason
+        ).inc()
+        for listener in list(self._drop_listeners):
+            try:
+                listener(datagram)
+            except Exception as exc:  # noqa: BLE001 - listener isolation
+                self.drop_listener_errors += 1
+                self.sim.obs.metrics.counter(
+                    "network_drop_listener_errors_total",
+                    listener=type(exc).__name__,
+                ).inc()
+                self.sim.trace.emit(
+                    "network",
+                    "drop listener raised (isolated)",
+                    error=type(exc).__name__,
+                    dst=datagram.dst_host,
+                )
 
     def _deliver(self, datagram: Datagram) -> None:
         dst = self._hosts[datagram.dst_host]
-        if (
-            not dst.up
-            or self.is_partitioned(datagram.src_host, datagram.dst_host)
-        ):
-            self._drop(datagram)
+        if not dst.up:
+            self._drop(datagram, reason="host-down")
+            return
+        if self.is_partitioned(datagram.src_host, datagram.dst_host):
+            self._drop(datagram, reason="partition")
             return
         if self._loss_rate > 0.0 and (
             self._loss_ports is None or datagram.dst_port in self._loss_ports
         ):
             if self.sim.rng("network-loss").random() < self._loss_rate:
-                self.messages_dropped += 1  # silent loss: no reset synthesis
+                # Silent loss: no reset synthesis, so no listeners either.
+                self.messages_dropped += 1
+                self.sim.obs.metrics.counter(
+                    "network_dropped_total", reason="loss"
+                ).inc()
                 return
         channel = self._ports.get((datagram.dst_host, datagram.dst_port))
         if channel is None or channel.closed:
-            self._drop(datagram)
+            self._drop(datagram, reason="unbound")
             return
         self.messages_delivered += 1
         channel.put(datagram)

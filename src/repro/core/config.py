@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.errors import ConfigurationError
+from repro.ft.policy import FtPolicy
 from repro.orb.core import OrbConfig
 
 #: selection strategies for the naming service, by name.
@@ -46,6 +47,15 @@ class RuntimeConfig:
     #: automatically re-join restarted hosts (fresh ORB, node manager,
     #: factory) after this delay; None disables.
     auto_heal_delay: Optional[float] = 1.0
+    #: enable per-host circuit breakers: the recovery coordinators share
+    #: one breaker registry and the naming strategy filters replica
+    #: selection through it (see repro.ft.breaker).  Off by default —
+    #: the paper's fixed-retry behaviour stays the baseline.
+    breakers: bool = False
+    #: default FtPolicy for recovery coordinators and ft_proxy() when no
+    #: explicit policy is given; None = FtPolicy() defaults.  The breaker
+    #: thresholds in this policy parameterize the shared registry.
+    recovery_policy: Optional["FtPolicy"] = None
 
     # observability -------------------------------------------------------------
     #: attach the tracing/metrics request interceptor to every ORB.

@@ -10,6 +10,7 @@ from repro.errors import ConfigurationError
 from repro.ft import (
     FtContext,
     FtPolicy,
+    HostBreakerRegistry,
     ObjectFactoryServant,
     RecoveryCoordinator,
     make_ft_proxy,
@@ -23,6 +24,7 @@ from repro.services.checkpoint import (
     MemoryBackend,
 )
 from repro.services.naming import (
+    BreakerAwareStrategy,
     FirstBoundStrategy,
     LoadDistributingContextServant,
     RandomStrategy,
@@ -63,6 +65,15 @@ class Runtime:
         )
         self.network = self.cluster.network
         self.failures = FailureInjector(self.cluster)
+        policy = self.config.recovery_policy or FtPolicy()
+        #: shared per-host circuit breakers; consulted by recovery
+        #: coordinators and the naming strategy when config.breakers is on.
+        self.breakers = HostBreakerRegistry(
+            self.sim,
+            failure_threshold=policy.breaker_failure_threshold,
+            reset_timeout=policy.breaker_reset_timeout,
+            half_open_max=policy.breaker_half_open_max,
+        )
         self._orbs: dict[str, Orb] = {}
         self._node_managers: dict[str, NodeManager] = {}
         self._factories: dict[str, ObjectFactoryServant] = {}
@@ -136,12 +147,16 @@ class Runtime:
         name = self.config.naming_strategy
         if name == "winner":
             assert self.system_manager is not None
-            return WinnerStrategy(self.system_manager)
-        if name == "round-robin":
-            return RoundRobinStrategy()
-        if name == "random":
-            return RandomStrategy(self.sim.rng("naming-random"))
-        return FirstBoundStrategy()
+            strategy = WinnerStrategy(self.system_manager)
+        elif name == "round-robin":
+            strategy = RoundRobinStrategy()
+        elif name == "random":
+            strategy = RandomStrategy(self.sim.rng("naming-random"))
+        else:
+            strategy = FirstBoundStrategy()
+        if self.config.breakers:
+            strategy = BreakerAwareStrategy(strategy, self.breakers)
+        return strategy
 
     def _start_node_manager(self, host) -> None:
         manager_host = self.cluster.host(self.config.service_host).name
@@ -232,6 +247,8 @@ class Runtime:
                 self.naming_stub(name),
                 self.store_stub(name),
                 factory_group=self.config.factory_group,
+                policy=self.config.recovery_policy,
+                breakers=self.breakers if self.config.breakers else None,
             )
         return self._coordinators[name]
 
@@ -285,7 +302,7 @@ class Runtime:
             type_name=type_name,
             store=self.store_stub(client_host) if with_store else None,
             recovery=self.coordinator(client_host) if with_recovery else None,
-            policy=policy or FtPolicy(),
+            policy=policy or self.config.recovery_policy or FtPolicy(),
             group_name=group_name,
         )
         proxy_class = make_ft_proxy(stub_class)

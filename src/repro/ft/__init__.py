@@ -11,6 +11,8 @@ a failed service."
 * :mod:`repro.ft.factory` — per-host ``ObjectFactory`` services used to
   re-create a failed server object on a (load-selected) host;
 * :mod:`repro.ft.policy` — fault-tolerance policy knobs;
+* :mod:`repro.ft.breaker` — per-host circuit breakers bounding wasted
+  recovery work against dead/flapping hosts;
 * :mod:`repro.ft.recovery` — the recovery coordinator: re-resolve through
   the (load-distributing) naming service, re-create, restore, rebind;
 * :mod:`repro.ft.proxies` — :func:`make_ft_proxy`, the automated generation
@@ -25,6 +27,7 @@ a failed service."
   grounds), for the ablation benches.
 """
 
+from repro.ft.breaker import CircuitBreaker, HostBreakerRegistry
 from repro.ft.checkpointable import CheckpointableSkeleton, CheckpointableStub
 from repro.ft.factory import (
     ObjectFactoryServant,
@@ -44,6 +47,8 @@ __all__ = [
     "ActiveReplicationGroup",
     "CheckpointableSkeleton",
     "CheckpointableStub",
+    "CircuitBreaker",
+    "HostBreakerRegistry",
     "FailureDetector",
     "FtContext",
     "FtPolicy",

@@ -3,8 +3,15 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.errors import ConfigurationError
+
+#: recognised retry-backoff modes.
+BACKOFF_MODES = ("fixed", "decorrelated-jitter")
+
+#: recognised checkpoint-failure dispositions.
+CHECKPOINT_FAILURE_MODES = ("raise", "ignore", "degraded")
 
 
 @dataclass
@@ -14,6 +21,15 @@ class FtPolicy:
     The paper's configuration is the default: a checkpoint after *every*
     successful method call.  ``checkpoint_interval > 1`` (checkpoint every
     k-th call) is the obvious optimization the ablation bench explores.
+
+    Failure handling beyond the paper — gray failures, flapping hosts and
+    storage outages livelock the original fixed-pause retry loop — is
+    governed by the adaptive knobs: exponential backoff with decorrelated
+    jitter (AWS-architecture-blog flavour: each pause is drawn uniformly
+    from ``[base, prev * backoff_multiplier]``, capped), a per-call
+    recovery deadline, circuit-breaker thresholds consulted by the
+    recovery coordinator, and a "degraded" checkpoint mode that buffers
+    checkpoints client-side while the storage service is down.
     """
 
     #: checkpoint after every k-th successful call (1 = paper's behaviour).
@@ -23,10 +39,33 @@ class FtPolicy:
     #: attempts to find a working factory host during one recovery.
     max_recover_attempts: int = 6
     #: pause between recovery attempts (lets Winner age out the dead host).
+    #: Under ``backoff="decorrelated-jitter"`` this is the *base* pause.
     retry_backoff: float = 0.5
+    #: "fixed" — every pause is ``retry_backoff`` (the seed behaviour);
+    #: "decorrelated-jitter" — exponential backoff with decorrelated
+    #: jitter, capped at ``backoff_cap``.
+    backoff: str = "fixed"
+    #: multiplier for decorrelated jitter (next ~ U[base, prev * mult]).
+    backoff_multiplier: float = 3.0
+    #: upper bound on a single backoff pause.
+    backoff_cap: float = 8.0
+    #: wall-clock (simulated) budget for one recovery; ``None`` = no
+    #: deadline (the seed behaviour).  Exceeding it raises RecoveryError.
+    recovery_deadline: Optional[float] = None
+    #: consecutive failures against one host before its breaker opens.
+    breaker_failure_threshold: int = 3
+    #: seconds an open breaker waits before letting a probe through.
+    breaker_reset_timeout: float = 5.0
+    #: concurrent probes allowed while half-open.
+    breaker_half_open_max: int = 1
     #: "raise" propagates a failed checkpoint to the caller; "ignore"
-    #: logs and continues (the call already succeeded).
+    #: logs and continues (the call already succeeded); "degraded"
+    #: buffers the checkpoint client-side and flushes when the store
+    #: answers again.
     on_checkpoint_failure: str = "raise"
+    #: most checkpoints buffered client-side in degraded mode (oldest
+    #: are dropped first — recovery only ever needs the newest).
+    checkpoint_buffer_limit: int = 8
 
     def __post_init__(self) -> None:
         if self.checkpoint_interval < 1:
@@ -37,7 +76,44 @@ class FtPolicy:
             raise ConfigurationError("max_recover_attempts must be >= 1")
         if self.retry_backoff < 0:
             raise ConfigurationError("retry_backoff must be >= 0")
-        if self.on_checkpoint_failure not in ("raise", "ignore"):
+        if self.backoff not in BACKOFF_MODES:
             raise ConfigurationError(
-                "on_checkpoint_failure must be 'raise' or 'ignore'"
+                f"backoff must be one of {BACKOFF_MODES}, got {self.backoff!r}"
             )
+        if self.backoff_multiplier < 1.0:
+            raise ConfigurationError("backoff_multiplier must be >= 1")
+        if self.backoff_cap <= 0:
+            raise ConfigurationError("backoff_cap must be positive")
+        if self.recovery_deadline is not None and self.recovery_deadline <= 0:
+            raise ConfigurationError("recovery_deadline must be positive")
+        if self.breaker_failure_threshold < 1:
+            raise ConfigurationError("breaker_failure_threshold must be >= 1")
+        if self.breaker_reset_timeout <= 0:
+            raise ConfigurationError("breaker_reset_timeout must be positive")
+        if self.breaker_half_open_max < 1:
+            raise ConfigurationError("breaker_half_open_max must be >= 1")
+        if self.on_checkpoint_failure not in CHECKPOINT_FAILURE_MODES:
+            raise ConfigurationError(
+                "on_checkpoint_failure must be one of "
+                f"{CHECKPOINT_FAILURE_MODES}"
+            )
+        if self.checkpoint_buffer_limit < 1:
+            raise ConfigurationError("checkpoint_buffer_limit must be >= 1")
+
+    def backoff_delay(self, previous: float, rng) -> float:
+        """Next retry pause given the ``previous`` one.
+
+        Pass ``previous <= 0`` for the first retry.  ``rng`` (a seeded
+        numpy Generator) is only consulted in decorrelated-jitter mode, so
+        fixed-backoff schedules never perturb the random stream.
+        """
+        if self.backoff == "fixed":
+            return self.retry_backoff
+        base = self.retry_backoff
+        if base <= 0:
+            return 0.0
+        prev = max(base, previous)
+        return min(
+            self.backoff_cap,
+            float(rng.uniform(base, prev * self.backoff_multiplier)),
+        )

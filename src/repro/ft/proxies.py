@@ -64,6 +64,22 @@ class FtContext:
     retries: int = 0
     _calls_since_checkpoint: int = 0
     _versions: itertools.count = field(default_factory=lambda: itertools.count(1))
+    #: degraded mode: ``(version, state)`` checkpoints captured while the
+    #: storage service was unreachable, oldest first.  Flushed (in order)
+    #: the next time the store answers; recovery restores from the newest
+    #: entry when it beats the store's copy.
+    buffered_checkpoints: list = field(default_factory=list)
+    checkpoints_buffered: int = 0
+    checkpoints_flushed: int = 0
+
+    @property
+    def degraded(self) -> bool:
+        """True while checkpoints are parked client-side."""
+        return bool(self.buffered_checkpoints)
+
+    def latest_buffered(self):
+        """Newest buffered ``(version, state)`` or None."""
+        return self.buffered_checkpoints[-1] if self.buffered_checkpoints else None
 
 
 class _FtProxyBase:
@@ -143,27 +159,52 @@ class _FtProxyBase:
                         outer.try_fail(recovery_error)
                         return
             span.set_attr("attempts", attempts + 1)
-            ft.calls += 1
-            obs.metrics.counter("ft_calls_total", service=ft.key).inc()
-            ft._calls_since_checkpoint += 1
-            if ft.store is not None and ft._calls_since_checkpoint >= policy.checkpoint_interval:
-                try:
-                    yield from self._take_checkpoint()
-                except Exception as exc:  # noqa: BLE001 - policy decides
-                    if policy.on_checkpoint_failure == "raise":
-                        span.mark_error(exc)
-                        outer.try_fail(exc)
-                        return
-                    self._orb.sim.trace.emit(
-                        "ft",
-                        "checkpoint failed (ignored)",
-                        service=ft.key,
-                        error=type(exc).__name__,
-                    )
+            if not (yield from self._after_success(span, outer)):
+                return
             outer.try_succeed(result)
 
+    def _after_success(self, span, outer):
+        """Generator: post-success bookkeeping plus the checkpoint step.
+
+        Shared by the wrapped-stub path and the DII request-proxy path so
+        the ``on_checkpoint_failure`` policy cannot diverge between them.
+        Returns False when ``outer`` was failed (caller must bail out
+        without succeeding it).
+        """
+        ft = self._ft
+        policy = ft.policy
+        obs = self._orb.sim.obs
+        ft.calls += 1
+        obs.metrics.counter("ft_calls_total", service=ft.key).inc()
+        ft._calls_since_checkpoint += 1
+        if (
+            ft.store is None
+            or ft._calls_since_checkpoint < policy.checkpoint_interval
+        ):
+            return True
+        try:
+            yield from self._take_checkpoint()
+        except Exception as exc:  # noqa: BLE001 - policy decides
+            if policy.on_checkpoint_failure == "raise":
+                span.mark_error(exc)
+                outer.try_fail(exc)
+                return False
+            self._orb.sim.trace.emit(
+                "ft",
+                "checkpoint failed (ignored)",
+                service=ft.key,
+                error=type(exc).__name__,
+            )
+        return True
+
     def _take_checkpoint(self):
-        """Fetch state from the server and persist it in the store."""
+        """Fetch state from the server and persist it in the store.
+
+        In degraded mode (``on_checkpoint_failure="degraded"``) a storage
+        failure buffers the checkpoint client-side instead of raising; the
+        buffer is flushed, oldest first, as soon as the store answers
+        again.
+        """
         ft = self._ft
         obs = self._orb.sim.obs
         started = self._orb.sim.now
@@ -172,13 +213,59 @@ class _FtProxyBase:
         ):
             state = yield ObjectStub._invoke(self, "get_checkpoint", ())
             version = next(ft._versions)
-            yield ft.store.store(ft.key, version, state)
+            if ft.policy.on_checkpoint_failure == "degraded":
+                yield from self._store_or_buffer(version, state)
+            else:
+                yield ft.store.store(ft.key, version, state)
         ft.checkpoints_taken += 1
         ft._calls_since_checkpoint = 0
         obs.metrics.counter("ft_checkpoints_total", service=ft.key).inc()
         obs.metrics.histogram(
             "ft_checkpoint_seconds", service=ft.key
         ).observe(self._orb.sim.now - started)
+
+    def _store_or_buffer(self, version, state):
+        """Degraded-mode store: flush any buffered checkpoints, then store
+        the new one; on a storage failure, park it client-side (the call it
+        belongs to has already succeeded — losing the *call* to a storage
+        outage would invert the fault-tolerance guarantee)."""
+        from repro.errors import SystemException
+
+        ft = self._ft
+        obs = self._orb.sim.obs
+        was_degraded = ft.degraded
+        try:
+            while ft.buffered_checkpoints:
+                pending_version, pending_state = ft.buffered_checkpoints[0]
+                yield ft.store.store(ft.key, pending_version, pending_state)
+                ft.buffered_checkpoints.pop(0)
+                ft.checkpoints_flushed += 1
+                obs.metrics.counter(
+                    "ft_checkpoints_flushed_total", service=ft.key
+                ).inc()
+            yield ft.store.store(ft.key, version, state)
+        except SystemException as exc:
+            ft.buffered_checkpoints.append((version, state))
+            del ft.buffered_checkpoints[: -ft.policy.checkpoint_buffer_limit]
+            ft.checkpoints_buffered += 1
+            obs.metrics.counter(
+                "ft_checkpoints_buffered_total", service=ft.key
+            ).inc()
+            self._orb.sim.trace.emit(
+                "ft",
+                "checkpoint buffered (store unreachable)",
+                service=ft.key,
+                version=version,
+                error=type(exc).__name__,
+            )
+        else:
+            if was_degraded:
+                self._orb.sim.trace.emit(
+                    "ft", "checkpoint buffer drained", service=ft.key
+                )
+        obs.metrics.gauge(
+            "ft_checkpoint_buffer_depth", service=ft.key
+        ).set(len(ft.buffered_checkpoints))
 
     # -- manual controls (used by migration and tests) ----------------------------------
 

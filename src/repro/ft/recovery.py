@@ -27,8 +27,10 @@ from repro.errors import (
     OBJECT_NOT_EXIST,
     RecoveryError,
     SystemException,
+    TIMEOUT,
     TRANSIENT,
 )
+from repro.ft.breaker import HostBreakerRegistry
 from repro.ft.factory import ObjectFactoryStub, UnknownType
 from repro.ft.policy import FtPolicy
 from repro.orb.stubs import ObjectStub
@@ -39,8 +41,16 @@ from repro.services.naming.names import to_name
 if TYPE_CHECKING:  # pragma: no cover
     from repro.orb.core import Orb
 
-#: exceptions that mean "the target is gone; recovery may help".
-RECOVERABLE = (COMM_FAILURE, OBJECT_NOT_EXIST, TRANSIENT)
+#: exceptions that mean "the target is gone (or unreachable); recovery may
+#: help".  TIMEOUT joins the list for gray failures: a partitioned or
+#: wedged host never answers, so with an ORB request timeout configured the
+#: stalled call surfaces here instead of hanging the proxy forever.
+RECOVERABLE = (COMM_FAILURE, OBJECT_NOT_EXIST, TRANSIENT, TIMEOUT)
+
+#: the subset of RECOVERABLE that clearly blames the *target host* (a
+#: TRANSIENT may come from a backend service, e.g. the checkpoint store
+#: during an outage, and must not trip the target host's breaker).
+HOST_BLAMING = (COMM_FAILURE, OBJECT_NOT_EXIST, TIMEOUT)
 
 
 class RecoveryCoordinator:
@@ -53,12 +63,15 @@ class RecoveryCoordinator:
         store,  # CheckpointStoreStub
         factory_group: str = "factories.service",
         policy: Optional[FtPolicy] = None,
+        breakers: Optional[HostBreakerRegistry] = None,
     ) -> None:
         self.orb = orb
         self.naming = naming
         self.store = store
         self.factory_group = to_name(factory_group)
         self.policy = policy or FtPolicy()
+        #: shared per-host circuit breakers (None = breakers disabled).
+        self.breakers = breakers
         #: in-flight recoveries by service key (single-flight coalescing:
         #: concurrent failed calls to the same service trigger ONE restart,
         #: not one per call).
@@ -68,6 +81,12 @@ class RecoveryCoordinator:
         self.failed_recoveries = 0
         self.recovery_time_total = 0.0
         self.coalesced = 0
+        #: recovery-attempt accounting (the chaos bench compares these
+        #: between fixed-backoff and breaker-guarded configurations).
+        self.attempts_total = 0
+        self.factory_failures = 0
+        self.breaker_skips = 0
+        self.deadline_failures = 0
 
     # -- main entry point -----------------------------------------------------
 
@@ -123,17 +142,60 @@ class RecoveryCoordinator:
 
     def _recover_attempts(self, proxy, span, started, dead_ior):
         sim = self.orb.sim
+        policy = self.policy
         context = proxy._ft
+        if self.breakers is not None:
+            # The failed call is evidence against the dead host: feed the
+            # breaker so re-resolution steers around it immediately.
+            self.breakers.record_failure(dead_ior.host)
+        rng = sim.rng("ft-backoff")
         last_error: Optional[BaseException] = None
-        for attempt in range(self.policy.max_recover_attempts):
+        delay = 0.0
+        for attempt in range(policy.max_recover_attempts):
             if attempt:
-                yield sim.timeout(self.policy.retry_backoff)
+                delay = policy.backoff_delay(delay, rng)
+                if policy.recovery_deadline is not None:
+                    remaining = policy.recovery_deadline - (sim.now - started)
+                    delay = min(delay, max(0.0, remaining))
+                yield sim.timeout(delay)
+            if (
+                policy.recovery_deadline is not None
+                and sim.now - started >= policy.recovery_deadline
+            ):
+                self.deadline_failures += 1
+                self.failed_recoveries += 1
+                sim.obs.metrics.counter(
+                    "ft_recovery_deadline_exceeded_total", service=context.key
+                ).inc()
+                sim.obs.metrics.counter(
+                    "ft_failed_recoveries_total", service=context.key
+                ).inc()
+                raise RecoveryError(
+                    f"recovery of {context.key} exceeded its "
+                    f"{policy.recovery_deadline}s deadline "
+                    f"(after {attempt} attempts)"
+                ) from last_error
+            self.attempts_total += 1
             try:
                 factory_ior = yield self.naming.resolve(self.factory_group)
             except naming_idl.NotFound as exc:
                 raise RecoveryError(
                     f"factory group {self.factory_group!r} is not bound"
                 ) from exc
+            if self.breakers is not None and not self.breakers.allow(
+                factory_ior.host
+            ):
+                # Breaker open for the offered host: skip the doomed round
+                # trip (counts as an attempt so a fully blacklisted group
+                # still terminates).
+                self.breaker_skips += 1
+                sim.obs.metrics.counter(
+                    "ft_recovery_breaker_skips_total", host=factory_ior.host
+                ).inc()
+                last_error = RecoveryError(
+                    f"circuit breaker open for host {factory_ior.host}"
+                )
+                continue
             factory = self.orb.stub(factory_ior, ObjectFactoryStub)
             try:
                 new_ior = yield factory.create(context.type_name)
@@ -145,13 +207,20 @@ class RecoveryCoordinator:
                 # That factory host is dead too: drop it from the group so
                 # the naming service stops offering it, then try again.
                 last_error = exc
+                self.factory_failures += 1
+                if self.breakers is not None and isinstance(exc, HOST_BLAMING):
+                    self.breakers.record_failure(factory_ior.host)
                 yield from self._drop_replica(self.factory_group, factory_ior)
                 continue
+            if self.breakers is not None:
+                self.breakers.record_success(factory_ior.host)
 
             try:
-                yield from self._restore(context.key, new_ior)
+                yield from self._restore(context, new_ior)
             except RECOVERABLE as exc:
                 last_error = exc
+                if self.breakers is not None and isinstance(exc, HOST_BLAMING):
+                    self.breakers.record_failure(new_ior.host)
                 continue  # new host died during restore; start over
 
             yield from self._swap_group_binding(context, dead_ior, new_ior)
@@ -186,11 +255,38 @@ class RecoveryCoordinator:
 
     # -- steps -------------------------------------------------------------------
 
-    def _restore(self, key: str, new_ior):
-        try:
-            state = yield self.store.load(key)
-        except NoCheckpoint:
-            return  # stateless service (or nothing checkpointed yet)
+    def _restore(self, context, new_ior):
+        """Restore the newest checkpoint onto ``new_ior``.
+
+        Checkpoints buffered client-side by degraded mode (storage outage)
+        take precedence over the store's copy when they are newer — and
+        stand in for it entirely while the store is unreachable, so a
+        service can be recovered *during* a storage outage.
+        """
+        key = context.key
+        buffered = context.latest_buffered()
+        store_version: Optional[int] = None
+        if buffered is not None:
+            try:
+                store_version = yield self.store.latest_version(key)
+            except (NoCheckpoint, *RECOVERABLE):
+                store_version = None
+        if buffered is not None and (
+            store_version is None or buffered[0] > store_version
+        ):
+            state = buffered[1]
+            self.orb.sim.obs.metrics.counter(
+                "ft_restores_from_buffer_total", service=key
+            ).inc()
+        else:
+            try:
+                state = yield self.store.load(key)
+            except NoCheckpoint:
+                return  # stateless service (or nothing checkpointed yet)
+            except RECOVERABLE:
+                if buffered is None:
+                    raise  # store down and nothing buffered: cannot restore
+                state = buffered[1]
         from repro.ft.checkpointable import CheckpointableStub
 
         restore_info = CheckpointableStub.__operations__["restore_from"]

@@ -138,26 +138,10 @@ class FtRequest:
                         self._outer.try_fail(recovery_error)
                         return
             span.set_attr("attempts", self.attempts)
-            ft.calls += 1
-            obs.metrics.counter("ft_calls_total", service=ft.key).inc()
-            ft._calls_since_checkpoint += 1
-            if (
-                ft.store is not None
-                and ft._calls_since_checkpoint >= policy.checkpoint_interval
-            ):
-                try:
-                    yield from proxy._take_checkpoint()
-                except Exception as exc:  # noqa: BLE001 - policy decides
-                    if policy.on_checkpoint_failure == "raise":
-                        span.mark_error(exc)
-                        self._outer.try_fail(exc)
-                        return
-                    orb.sim.trace.emit(
-                        "ft",
-                        "checkpoint failed (ignored)",
-                        service=ft.key,
-                        error=type(exc).__name__,
-                    )
+            # The post-success bookkeeping + checkpoint step is the object
+            # proxy's, shared verbatim so the two paths apply one policy.
+            if not (yield from proxy._after_success(span, self._outer)):
+                return
             self._outer.try_succeed(result)
 
     def _ensure_sent(self) -> None:

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
+from repro.errors import TRANSIENT
 from repro.orb.cdr import decode_any, encode_any
 from repro.orb.idl import compile_idl
 
@@ -125,15 +126,36 @@ class CheckpointStoreServant(CheckpointStoreSkeleton):
         self.processing_work = processing_work
         self.stores = 0
         self.loads = 0
+        #: chaos hook: an unavailable store answers every request with
+        #: ``TRANSIENT`` — the storage-outage failure mode the degraded
+        #: checkpointing path (``on_checkpoint_failure="degraded"``) rides
+        #: out by buffering client-side.
+        self.available = True
+        self.outages = 0
+        self.rejected_requests = 0
+
+    def set_available(self, available: bool) -> None:
+        if self.available and not available:
+            self.outages += 1
+        self.available = bool(available)
+
+    def _check_available(self) -> None:
+        if not self.available:
+            self.rejected_requests += 1
+            raise TRANSIENT("checkpoint store unavailable")
 
     def store(self, key, version, state):
+        self._check_available()
         yield self._host().execute(self.processing_work)
+        self._check_available()  # outage may start while we queue
         data = encode_any(state)
         yield from self.backend.write(key, version, data)
         self.stores += 1
 
     def load(self, key):
+        self._check_available()
         yield self._host().execute(self.processing_work)
+        self._check_available()
         latest = self.backend.read_latest(key)
         if latest is None:
             raise NoCheckpoint(key=key)
@@ -141,6 +163,7 @@ class CheckpointStoreServant(CheckpointStoreSkeleton):
         return decode_any(latest[1])
 
     def latest_version(self, key):
+        self._check_available()
         latest = self.backend.read_latest(key)
         if latest is None:
             raise NoCheckpoint(key=key)

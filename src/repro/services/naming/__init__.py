@@ -28,6 +28,7 @@ from repro.services.naming import idl
 from repro.services.naming.context import NamingContextServant
 from repro.services.naming.load_aware import LoadDistributingContextServant
 from repro.services.naming.strategies import (
+    BreakerAwareStrategy,
     FirstBoundStrategy,
     RandomStrategy,
     RoundRobinStrategy,
@@ -40,6 +41,7 @@ from repro.services.naming.persistent import (
 )
 
 __all__ = [
+    "BreakerAwareStrategy",
     "FirstBoundStrategy",
     "FtNamingContextServant",
     "FtNamingContextStub",

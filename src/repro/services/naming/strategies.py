@@ -13,6 +13,9 @@ and returns an IOR — the servant runs either transparently.
 * :class:`WinnerStrategy` — the paper's contribution: ask the Winner
   system manager for the best host among the replicas' hosts, note the
   placement, return a replica on that host.
+* :class:`BreakerAwareStrategy` — decorator around any of the above that
+  drops replicas on hosts whose circuit breaker is open, so re-resolution
+  after a failure avoids recently failed hosts.
 """
 
 from __future__ import annotations
@@ -68,6 +71,38 @@ class RandomStrategy(SelectionStrategy):
 
     def choose(self, group_name: str, candidates: Sequence[IOR]) -> IOR:
         return candidates[int(self._rng.integers(len(candidates)))]
+
+
+class BreakerAwareStrategy(SelectionStrategy):
+    """Filter replica candidates through per-host circuit breakers.
+
+    Wraps an inner strategy: candidates whose host breaker is open (and
+    still inside its reset timeout) are removed before delegation, so a
+    recently failed host stops being offered until it earns a probe.  If
+    *every* candidate is filtered the full list passes through unchanged —
+    a blacklist must degrade to normal selection, never to an outage.
+    The check is non-mutating (no half-open probe slots are consumed at
+    selection time; the caller's actual request is the probe).
+    """
+
+    name = "breaker-aware"
+
+    def __init__(self, inner: SelectionStrategy, breakers) -> None:
+        self._inner = inner
+        self.breakers = breakers
+        self.filtered = 0
+
+    def choose(self, group_name: str, candidates: Sequence[IOR]):
+        allowed = [c for c in candidates if self.breakers.available(c.host)]
+        if not allowed:
+            allowed = list(candidates)
+        self.filtered += len(candidates) - len(allowed)
+        # The inner strategy may return a plain IOR or a generator; the
+        # naming servant runs either, so pass the outcome through as-is.
+        return self._inner.choose(group_name, allowed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<BreakerAwareStrategy over {self._inner!r}>"
 
 
 class WinnerStrategy(SelectionStrategy):

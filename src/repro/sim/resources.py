@@ -118,6 +118,18 @@ class ProcessorSharingCPU:
         self._advance()
         return self.busy_integral
 
+    def set_speed(self, speed: float) -> None:
+        """Change the delivered speed mid-run (gray-host degradation).
+
+        Work already completed is accounted at the old rate; in-flight
+        tasks continue at the new rate from *now*.
+        """
+        if speed <= 0:
+            raise SimulationError(f"CPU speed must be positive, got {speed}")
+        self._advance()
+        self.speed = speed
+        self._reschedule()
+
     # -- internals ----------------------------------------------------------
 
     def _advance(self) -> None:

@@ -155,3 +155,79 @@ def test_traffic_counters():
     assert net.messages_sent == 1
     assert net.messages_delivered == 1
     assert net.bytes_sent == 123
+
+
+# -- partition semantics -------------------------------------------------------
+
+
+def test_partition_drops_in_flight_messages_at_delivery():
+    sim, cluster = make_cluster()
+    net = cluster.network
+    a, b = cluster.host(0), cluster.host(1)
+    inbox = net.bind(b, 5000)
+    # The message is in flight when the partition lands: partitions act at
+    # *delivery* time, so it is lost like a packet on a cut cable.
+    net.send(a, 1, b.name, 5000, payload="doomed", size=10)
+    net.partition(a.name, b.name)
+    sim.run()
+    assert len(inbox) == 0
+    assert net.messages_dropped == 1
+
+
+def test_unpartition_alias_restores_traffic():
+    sim, cluster = make_cluster()
+    net = cluster.network
+    a, b = cluster.host(0), cluster.host(1)
+    inbox = net.bind(b, 5000)
+    net.partition(a.name, b.name)
+    assert net.partition_count() == 1
+    net.unpartition(a.name, b.name)  # alias of heal()
+    assert net.partition_count() == 0
+    net.send(a, 1, b.name, 5000, payload="through", size=10)
+    sim.run()
+    assert len(inbox) == 1
+
+
+def test_clear_partitions_heals_everything_at_once():
+    sim, cluster = make_cluster(n=4)
+    net = cluster.network
+    names = [cluster.host(i).name for i in range(4)]
+    net.partition(names[0], names[1])
+    net.partition(names[0], names[2])
+    net.partition(names[2], names[3])
+    assert net.partition_count() == 3
+    net.clear_partitions()  # alias of heal_all()
+    assert net.partition_count() == 0
+    inbox = net.bind(cluster.host(1), 5000)
+    net.send(cluster.host(0), 1, names[1], 5000, payload="ok", size=10)
+    sim.run()
+    assert len(inbox) == 1
+
+
+# -- drop-listener isolation ---------------------------------------------------
+
+
+def test_drop_listener_exception_is_isolated_and_counted():
+    sim, cluster = make_cluster()
+    net = cluster.network
+    a, b = cluster.host(0), cluster.host(1)
+    net.bind(b, 5000)
+    seen = []
+
+    def bad_listener(datagram):
+        raise RuntimeError("listener bug")
+
+    net.add_drop_listener(bad_listener)
+    net.add_drop_listener(seen.append)  # must still run after the bad one
+
+    net.send(a, 1, b.name, 5000, payload="x", size=10)
+    b.crash()
+    sim.run()
+
+    assert net.messages_dropped == 1  # bookkeeping not aborted
+    assert len(seen) == 1  # later listeners still notified
+    assert net.drop_listener_errors == 1
+    counter = sim.obs.metrics.counter(
+        "network_drop_listener_errors_total", listener="RuntimeError"
+    )
+    assert counter.value_repr() == 1
