@@ -1,0 +1,299 @@
+"""Checkpoint fast path: sync vs. pipelined vs. delta ablation.
+
+Two experiments share one artifact:
+
+* the **micro ablation** (``checkpoint_fastpath_sweep``) — a distilled
+  call stream against an accumulator whose checkpoint is dominated by a
+  large static payload, one cell per fast-path mode, anchored by a
+  proxy-free ``plain`` row;
+* the **Table 1 workload** — the paper's 100-dim/7-worker sweep with the
+  optimized modes run as extra columns next to the paper-faithful
+  synchronous one.
+
+The file doubles as the CI bench-smoke gate::
+
+    PYTHONPATH=src python benchmarks/bench_checkpoint_fastpath.py --quick
+
+which exits non-zero when pipelined+delta mode is not measurably cheaper
+than sync mode (< 2x overhead cut) or when the paper-faithful sync numbers
+drift from the pinned goldens.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.bench import format_table, table1_sweep
+from repro.bench.ftbench import checkpoint_fastpath_sweep
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: optimized Table 1 columns (Scenario overrides per variant name).
+TABLE1_VARIANTS = {
+    "pipelined": {"checkpoint_mode": "pipelined"},
+    "pipelined+deltas": {
+        "checkpoint_mode": "pipelined",
+        "checkpoint_deltas": True,
+    },
+}
+
+#: the quick (CI) Table 1 shape and its pinned paper-faithful goldens:
+#: simulated seconds for seed=7, manager_iterations=6.  The sync mode must
+#: keep reproducing these bit-for-bit — the fast path is opt-in.
+QUICK_ITERATIONS = (10_000, 30_000)
+QUICK_MANAGER_ITERATIONS = 6
+GOLDEN_SYNC = {
+    10_000: {"plain": 0.6937994199999533, "ft_sync": 3.2710208599999833},
+    30_000: {"plain": 1.9817994199999545, "ft_sync": 4.46748086},
+}
+GOLDEN_RTOL = 1e-6
+
+#: acceptance: pipelined+deltas must cut FT overhead at least this factor.
+MIN_OVERHEAD_CUT = 2.0
+
+
+def run_bench(quick: bool = False) -> dict:
+    micro = checkpoint_fastpath_sweep(
+        calls=24 if quick else 40, reads=3 if quick else 4
+    )
+    iterations = QUICK_ITERATIONS if quick else (10_000, 30_000, 50_000)
+    table1 = table1_sweep(
+        iterations=iterations,
+        manager_iterations=QUICK_MANAGER_ITERATIONS,
+        ft_variants=TABLE1_VARIANTS,
+    )
+    return {"micro": micro, "table1": table1, "quick": quick}
+
+
+def check_results(results: dict) -> list[str]:
+    """Every violated acceptance condition (empty = pass)."""
+    failures: list[str] = []
+    micro = {row.label: row for row in results["micro"]}
+    sync_oh = micro["sync"].extra["overhead_percent"]
+    fast = micro["pipelined+deltas"]
+    fast_oh = fast.extra["overhead_percent"]
+    if fast_oh * MIN_OVERHEAD_CUT > sync_oh:
+        failures.append(
+            f"micro: pipelined+deltas overhead {fast_oh:.1f}% is not a "
+            f">= {MIN_OVERHEAD_CUT}x cut of sync's {sync_oh:.1f}%"
+        )
+    if fast.extra["deltas_sent"] <= fast.extra["fulls_sent"]:
+        failures.append(
+            "micro: delta mode shipped no more deltas than full snapshots "
+            f"({fast.extra['deltas_sent']} vs {fast.extra['fulls_sent']})"
+        )
+    if not fast.extra["checkpoints_skipped"]:
+        failures.append("micro: unchanged-state reads never skipped a store")
+    if (
+        fast.extra["store_bytes_written"]
+        > micro["sync"].extra["store_bytes_written"] / 2
+    ):
+        failures.append(
+            "micro: delta mode did not at least halve stored bytes "
+            f"({fast.extra['store_bytes_written']} vs "
+            f"{micro['sync'].extra['store_bytes_written']})"
+        )
+
+    for row in results["table1"]:
+        fast_oh = row.variant_overhead_percent("pipelined+deltas")
+        if fast_oh * MIN_OVERHEAD_CUT > row.overhead_percent:
+            failures.append(
+                f"table1 @{row.iterations}: pipelined+deltas overhead "
+                f"{fast_oh:.1f}% is not a >= {MIN_OVERHEAD_CUT}x cut of "
+                f"sync's {row.overhead_percent:.1f}%"
+            )
+        golden = GOLDEN_SYNC.get(row.iterations) if results["quick"] else None
+        if golden is None:
+            continue
+        for name, expected in (
+            ("plain", golden["plain"]),
+            ("ft_sync", golden["ft_sync"]),
+        ):
+            actual = (
+                row.runtime_without_proxy
+                if name == "plain"
+                else row.runtime_with_proxy
+            )
+            if abs(actual - expected) > GOLDEN_RTOL * expected:
+                failures.append(
+                    f"table1 @{row.iterations}: paper-faithful {name} "
+                    f"runtime drifted: {actual!r} != golden {expected!r}"
+                )
+    return failures
+
+
+def render(results: dict) -> str:
+    micro_table = format_table(
+        [
+            "mode",
+            "runtime [s]",
+            "overhead [%]",
+            "deltas/fulls/skips",
+            "stalls",
+            "store bytes",
+        ],
+        [
+            [
+                row.label,
+                f"{row.runtime:.4f}",
+                f"{row.extra['overhead_percent']:.1f}" if row.extra else "-",
+                (
+                    f"{row.extra['deltas_sent']}/{row.extra['fulls_sent']}"
+                    f"/{row.extra['checkpoints_skipped']}"
+                    if row.extra
+                    else "-"
+                ),
+                f"{row.extra['pipeline_stalls']}" if row.extra else "-",
+                f"{row.extra['store_bytes_written']}" if row.extra else "-",
+            ]
+            for row in results["micro"]
+        ],
+        title="Checkpoint fast path: micro ablation (payload accumulator)",
+    )
+    table1_table = format_table(
+        [
+            "iterations",
+            "plain [s]",
+            "sync [s] (oh %)",
+            "pipelined [s] (oh %)",
+            "pipe+delta [s] (oh %)",
+        ],
+        [
+            [
+                row.iterations,
+                f"{row.runtime_without_proxy:.2f}",
+                f"{row.runtime_with_proxy:.2f} "
+                f"({row.overhead_percent:.1f})",
+                f"{row.runtime_variants['pipelined']:.2f} "
+                f"({row.variant_overhead_percent('pipelined'):.1f})",
+                f"{row.runtime_variants['pipelined+deltas']:.2f} "
+                f"({row.variant_overhead_percent('pipelined+deltas'):.1f})",
+            ]
+            for row in results["table1"]
+        ],
+        title="Checkpoint fast path on the Table 1 workload (100-dim, 7 workers)",
+    )
+    return micro_table + "\n\n" + table1_table
+
+
+def payload(results: dict) -> dict:
+    return {
+        "quick": results["quick"],
+        "micro": [
+            {"mode": row.label, "runtime": row.runtime, **row.extra}
+            for row in results["micro"]
+        ],
+        "table1": [
+            {
+                "iterations": row.iterations,
+                "plain": row.runtime_without_proxy,
+                "ft_sync": row.runtime_with_proxy,
+                "sync_overhead_percent": row.overhead_percent,
+                **{
+                    name: value
+                    for name, value in row.runtime_variants.items()
+                },
+                **{
+                    f"{name}_overhead_percent": row.variant_overhead_percent(
+                        name
+                    )
+                    for name in row.runtime_variants
+                },
+            }
+            for row in results["table1"]
+        ],
+    }
+
+
+def metric_series(results: dict) -> dict:
+    runtime_samples = []
+    overhead_samples = []
+    for row in results["table1"]:
+        variants = {
+            "plain": row.runtime_without_proxy,
+            "ft_sync": row.runtime_with_proxy,
+            **row.runtime_variants,
+        }
+        for variant, value in variants.items():
+            runtime_samples.append(
+                ({"iterations": row.iterations, "variant": variant}, value)
+            )
+        overhead_samples.append(
+            (
+                {"iterations": row.iterations, "variant": "sync"},
+                row.overhead_percent,
+            )
+        )
+        for name in row.runtime_variants:
+            overhead_samples.append(
+                (
+                    {"iterations": row.iterations, "variant": name},
+                    row.variant_overhead_percent(name),
+                )
+            )
+    micro_samples = [
+        ({"mode": row.label}, row.runtime) for row in results["micro"]
+    ]
+    return {
+        "bench_runtime_seconds": runtime_samples,
+        "bench_ft_overhead_percent": overhead_samples,
+        "bench_fastpath_micro_runtime_seconds": micro_samples,
+    }
+
+
+def export_artifacts(results: dict) -> None:
+    """Write the same artifact set the pytest fixtures would."""
+    from repro.bench.reporting import write_json
+    from repro.obs import MetricsRegistry
+    from repro.obs.exporters import prometheus_text
+
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    text = render(results)
+    (RESULTS_DIR / "checkpoint_fastpath.txt").write_text(text + "\n")
+    write_json(RESULTS_DIR / "checkpoint_fastpath.json", payload(results))
+    registry = MetricsRegistry()
+    for metric_name, samples in metric_series(results).items():
+        for labels, value in samples:
+            registry.gauge(metric_name, **labels).set(float(value))
+    write_json(RESULTS_DIR / "BENCH_checkpoint_fastpath.json", registry.snapshot())
+    (RESULTS_DIR / "BENCH_checkpoint_fastpath.prom").write_text(
+        prometheus_text(registry)
+    )
+
+
+def test_checkpoint_fastpath(benchmark, save_result, export_bench_metrics):
+    results = benchmark.pedantic(
+        run_bench, kwargs={"quick": True}, rounds=1, iterations=1
+    )
+    failures = check_results(results)
+    assert not failures, "\n".join(failures)
+    save_result("checkpoint_fastpath", render(results), payload(results))
+    export_bench_metrics("checkpoint_fastpath", metric_series(results))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Checkpoint fast-path ablation (CI bench-smoke gate)."
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI shape: small sweep, golden-pinned sync numbers",
+    )
+    args = parser.parse_args(argv)
+    results = run_bench(quick=args.quick)
+    print(render(results))
+    export_artifacts(results)
+    print(f"\nwrote {RESULTS_DIR / 'BENCH_checkpoint_fastpath.json'}")
+    failures = check_results(results)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("checkpoint fast path: all acceptance checks passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

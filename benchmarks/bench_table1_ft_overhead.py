@@ -7,22 +7,45 @@ this scenario.  In the worst case, the application runtime using proxy
 objects is more than three times that of the plain version.  Because the
 overhead is constant for each method call, the relative slowdown is lower
 the more time is spent in the called method."
+
+The optimized checkpoint modes (pipelined stores, delta encoding) run as
+extra columns next to the paper-faithful synchronous numbers; they must
+beat sync without perturbing it.
 """
 
 from repro.bench import format_table, table1_sweep
 
+FT_VARIANTS = {
+    "pipelined": {"checkpoint_mode": "pipelined"},
+    "pipelined+deltas": {
+        "checkpoint_mode": "pipelined",
+        "checkpoint_deltas": True,
+    },
+}
+
 
 def test_table1_ft_overhead(benchmark, save_result, export_bench_metrics):
-    rows = benchmark.pedantic(table1_sweep, rounds=1, iterations=1)
+    rows = benchmark.pedantic(
+        table1_sweep, kwargs={"ft_variants": FT_VARIANTS}, rounds=1, iterations=1
+    )
 
     text = format_table(
-        ["iterations", "runtime w/o proxy [s]", "runtime w/ proxy [s]", "overhead [%]"],
+        [
+            "iterations",
+            "runtime w/o proxy [s]",
+            "runtime w/ proxy [s]",
+            "overhead [%]",
+            "pipelined [%]",
+            "pipe+delta [%]",
+        ],
         [
             [
                 row.iterations,
                 f"{row.runtime_without_proxy:.2f}",
                 f"{row.runtime_with_proxy:.2f}",
                 f"{row.overhead_percent:.1f}",
+                f"{row.variant_overhead_percent('pipelined'):.1f}",
+                f"{row.variant_overhead_percent('pipelined+deltas'):.1f}",
             ]
             for row in rows
         ],
@@ -36,11 +59,36 @@ def test_table1_ft_overhead(benchmark, save_result, export_bench_metrics):
     assert worst.runtime_with_proxy > 3.0 * worst.runtime_without_proxy
     plain = [row.runtime_without_proxy for row in rows]
     assert plain == sorted(plain), "plain runtime grows with iterations"
+    for row in rows:
+        # Optimized modes must beat sync on every row; pipelined+deltas
+        # must at least halve the per-call overhead.
+        assert (
+            row.variant_overhead_percent("pipelined") < row.overhead_percent
+        ), f"pipelined not cheaper than sync at {row.iterations}"
+        assert (
+            row.variant_overhead_percent("pipelined+deltas")
+            <= row.overhead_percent / 2
+        ), f"pipelined+deltas under 2x cut at {row.iterations}"
 
     save_result(
         "table1_ft_overhead",
         text,
-        {"rows": [row.__dict__ | {"overhead_percent": row.overhead_percent} for row in rows]},
+        {
+            "rows": [
+                {
+                    "iterations": row.iterations,
+                    "runtime_without_proxy": row.runtime_without_proxy,
+                    "runtime_with_proxy": row.runtime_with_proxy,
+                    "overhead_percent": row.overhead_percent,
+                    "runtime_variants": dict(row.runtime_variants),
+                    "variant_overhead_percent": {
+                        name: row.variant_overhead_percent(name)
+                        for name in row.runtime_variants
+                    },
+                }
+                for row in rows
+            ]
+        },
     )
     export_bench_metrics(
         "table1_ft_overhead",
@@ -51,6 +99,7 @@ def test_table1_ft_overhead(benchmark, save_result, export_bench_metrics):
                 for variant, value in (
                     ("plain", row.runtime_without_proxy),
                     ("ft_proxy", row.runtime_with_proxy),
+                    *row.runtime_variants.items(),
                 )
             ],
             "bench_ft_overhead_percent": [

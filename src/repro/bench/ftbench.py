@@ -52,6 +52,34 @@ class AccumulatorImpl(ns.BenchAccumulatorSkeleton):
         self._total = float(state["total"])
 
 
+class PayloadAccumulatorImpl(ns.BenchAccumulatorSkeleton):
+    """Accumulator whose checkpoint is dominated by a large static blob.
+
+    The shape delta checkpoints exploit: per call only the scalar total
+    changes, while the ``weights`` payload — think model parameters or a
+    lookup table — rides along unchanged in every full snapshot.
+    """
+
+    def __init__(self, payload_floats: int = 512) -> None:
+        self._total = 0.0
+        self._weights = [float(i) * 0.5 for i in range(payload_floats)]
+
+    def add(self, amount, work):
+        yield self._host().execute(work)
+        self._total += amount
+        return self._total
+
+    def total(self):
+        return self._total
+
+    def get_checkpoint(self):
+        return {"total": self._total, "weights": list(self._weights)}
+
+    def restore_from(self, state):
+        self._total = float(state["total"])
+        self._weights = [float(w) for w in state["weights"]]
+
+
 def _runtime(num_hosts=6, seed=17, **kwargs) -> Runtime:
     runtime = Runtime(
         RuntimeConfig(
@@ -106,6 +134,99 @@ def checkpoint_interval_sweep(
                 extra={
                     "interval": interval,
                     "checkpoints": proxy._ft.checkpoints_taken,
+                },
+            )
+        )
+    return rows
+
+
+#: FtPolicy overrides for the checkpoint fast-path ablation cells.
+FASTPATH_MODES = {
+    "sync": {},
+    "pipelined": {"checkpoint_mode": "pipelined"},
+    "deltas": {"checkpoint_deltas": True},
+    "pipelined+deltas": {
+        "checkpoint_mode": "pipelined",
+        "checkpoint_deltas": True,
+    },
+}
+
+
+def checkpoint_fastpath_sweep(
+    modes: Sequence[str] = ("sync", "pipelined", "deltas", "pipelined+deltas"),
+    calls: int = 40,
+    call_work: float = 0.02,
+    payload_floats: int = 512,
+    reads: int = 4,
+) -> list[AblationRow]:
+    """The checkpoint fast-path ablation on a distilled Table 1 workload.
+
+    A ``plain`` row (raw stub, no FT proxy) anchors the overhead
+    percentages; each mode row is the same call stream through an FT proxy
+    with that mode's :data:`FASTPATH_MODES` policy.  The trailing ``total``
+    reads leave the state unchanged, so delta mode's content-hash skip gets
+    exercised alongside the deltas themselves.
+    """
+    rows: list[AblationRow] = []
+
+    def stream(runtime, target):
+        def client():
+            start = runtime.sim.now
+            for _ in range(calls):
+                yield target.add(1.0, call_work)
+            for _ in range(reads):
+                yield target.total()
+            return runtime.sim.now - start
+
+        return client()
+
+    runtime = _runtime()
+    ior = runtime.orb(1).poa.activate(PayloadAccumulatorImpl(payload_floats))
+    stub = runtime.orb(0).stub(ior, ns.BenchAccumulatorStub)
+    baseline = runtime.run(stream(runtime, stub))
+    rows.append(AblationRow(label="plain", runtime=baseline, extra={}))
+
+    for mode in modes:
+        policy = FtPolicy(**FASTPATH_MODES[mode])
+        runtime = _runtime()
+        runtime.register_type(
+            "PayloadAccumulator",
+            lambda: PayloadAccumulatorImpl(payload_floats),
+        )
+        ior = runtime.orb(1).poa.activate(
+            PayloadAccumulatorImpl(payload_floats)
+        )
+        proxy = runtime.ft_proxy(
+            ns.BenchAccumulatorStub,
+            ior,
+            key="acc",
+            type_name="PayloadAccumulator",
+            policy=policy,
+        )
+        elapsed = runtime.run(stream(runtime, proxy))
+
+        def settle():
+            yield proxy.drain_checkpoints()
+
+        runtime.run(settle())
+        ft = proxy._ft
+        backend = runtime.store_servant.backend
+        rows.append(
+            AblationRow(
+                label=mode,
+                runtime=elapsed,
+                extra={
+                    "overhead_percent": 100.0 * (elapsed / baseline - 1.0),
+                    "checkpoints_taken": ft.checkpoints_taken,
+                    "checkpoints_skipped": ft.checkpoints_skipped,
+                    "deltas_sent": ft.deltas_sent,
+                    "fulls_sent": ft.fulls_sent,
+                    "delta_fallbacks": ft.delta_fallbacks,
+                    "pipeline_stalls": ft.pipeline_stalls,
+                    "pipeline_peak_depth": ft.pipeline_peak_depth,
+                    "bytes_shipped": ft.checkpoint_bytes_shipped,
+                    "store_bytes_written": backend.bytes_written,
+                    "store_delta_bytes": backend.delta_bytes_written,
                 },
             )
         )

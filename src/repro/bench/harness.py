@@ -12,8 +12,8 @@ generation all share one source of truth.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Sequence
 
 from repro.core import Scenario, ScenarioResult
 from repro.opt import WorkerSettings
@@ -49,15 +49,27 @@ class Fig3Point:
 
 @dataclass(frozen=True)
 class Table1Row:
-    """One row of Table 1."""
+    """One row of Table 1.
+
+    ``runtime_variants`` carries optional extra fault-tolerant columns
+    (checkpoint fast-path modes) keyed by variant name; the paper's two
+    columns stay the dataclass identity.
+    """
 
     iterations: int
     runtime_without_proxy: float
     runtime_with_proxy: float
+    runtime_variants: dict = field(default_factory=dict, compare=False)
 
     @property
     def overhead_percent(self) -> float:
         return 100.0 * (self.runtime_with_proxy / self.runtime_without_proxy - 1.0)
+
+    def variant_overhead_percent(self, name: str) -> float:
+        """FT overhead of a named variant over the proxy-free baseline."""
+        return 100.0 * (
+            self.runtime_variants[name] / self.runtime_without_proxy - 1.0
+        )
 
 
 def _scenario(
@@ -140,13 +152,20 @@ def table1_sweep(
     settings: Optional[WorkerSettings] = None,
     checkpoint_interval: int = 1,
     checkpoint_processing_work: Optional[float] = None,
+    ft_variants: Optional[Mapping[str, Mapping]] = None,
 ) -> list[Table1Row]:
-    """Run the Table 1 grid; returns one row per iteration count."""
+    """Run the Table 1 grid; returns one row per iteration count.
+
+    ``ft_variants`` maps variant names to Scenario attribute overrides
+    (e.g. ``{"pipelined": {"checkpoint_mode": "pipelined"}}``); each is an
+    extra fault-tolerant run per row, recorded in ``runtime_variants``.
+    The paper columns are always run with the scenario defaults.
+    """
     settings = settings or BENCH_SETTINGS
     rows: list[Table1Row] = []
     for count in iterations:
-        runtimes = {}
-        for fault_tolerant in (False, True):
+
+        def run_ft(fault_tolerant: bool, overrides: Mapping = ()) -> float:
             scenario = _scenario(
                 config,
                 "CORBA/Winner",
@@ -160,12 +179,24 @@ def table1_sweep(
             scenario.checkpoint_interval = checkpoint_interval
             if checkpoint_processing_work is not None:
                 scenario.checkpoint_processing_work = checkpoint_processing_work
-            runtimes[fault_tolerant] = scenario.run().runtime_seconds
+            for attr, value in dict(overrides).items():
+                if not hasattr(scenario, attr):
+                    raise AttributeError(
+                        f"unknown Scenario override {attr!r} in ft_variants"
+                    )
+                setattr(scenario, attr, value)
+            return scenario.run().runtime_seconds
+
+        variants = {
+            name: run_ft(True, overrides)
+            for name, overrides in (ft_variants or {}).items()
+        }
         rows.append(
             Table1Row(
                 iterations=count,
-                runtime_without_proxy=runtimes[False],
-                runtime_with_proxy=runtimes[True],
+                runtime_without_proxy=run_ft(False),
+                runtime_with_proxy=run_ft(True),
+                runtime_variants=variants,
             )
         )
     return rows

@@ -46,6 +46,17 @@ def main(argv=None) -> int:
         metavar="PATH",
         help="write the full campaign result as JSON",
     )
+    parser.add_argument(
+        "--checkpoint-mode",
+        choices=("sync", "pipelined"),
+        default="sync",
+        help="checkpoint execution mode for every proxy (default: sync)",
+    )
+    parser.add_argument(
+        "--deltas",
+        action="store_true",
+        help="ship delta checkpoints instead of full states",
+    )
     args = parser.parse_args(argv)
 
     scenarios = tuple(s for s in args.scenarios.split(",") if s.strip())
@@ -53,6 +64,8 @@ def main(argv=None) -> int:
         seeds=args.seeds
     )
     config.scenarios = scenarios
+    config.checkpoint_mode = args.checkpoint_mode
+    config.checkpoint_deltas = args.deltas
 
     def progress(report):
         status = "ok" if report.ok else "FAIL"

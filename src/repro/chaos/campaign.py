@@ -67,6 +67,10 @@ class CampaignConfig:
     recovery_deadline: float = 6.0
     request_timeout: float = 0.8
     settle: float = 1.0
+    #: checkpoint fast-path knobs under chaos: "sync" is the paper path;
+    #: "pipelined" (and deltas) must satisfy the same invariants.
+    checkpoint_mode: str = "sync"
+    checkpoint_deltas: bool = False
 
     @classmethod
     def fast(cls, seeds: Sequence[int] = (11, 12, 13)) -> "CampaignConfig":
@@ -97,6 +101,8 @@ class CampaignConfig:
             breaker_half_open_max=1,
             on_checkpoint_failure="degraded",
             checkpoint_buffer_limit=16,
+            checkpoint_mode=self.checkpoint_mode,
+            checkpoint_deltas=self.checkpoint_deltas,
         )
 
 
@@ -138,6 +144,13 @@ class ScenarioReport:
     checkpoints_flushed: int = 0
     restores_from_buffer: float = 0.0
     checkpoint_buffer_depth_end: int = 0
+    # checkpoint fast path
+    checkpoints_skipped: int = 0
+    deltas_sent: int = 0
+    fulls_sent: int = 0
+    delta_fallbacks: int = 0
+    pipeline_stalls: int = 0
+    checkpoint_pipeline_depth_end: int = 0
     # plumbing
     drop_listener_errors: int = 0
     chaos_events: list = field(default_factory=list)
@@ -301,7 +314,13 @@ def run_scenario(
         if config.with_optimizer:
             procs.append(sim.spawn(opt_client(), name="chaos-opt-client"))
         yield all_of(sim, procs)
-        # Shutdown drain: a workload that finished *during* the storage
+        # Shutdown drain, in two steps.  First settle any pipelined
+        # persists still in flight (a failed one lands in the degraded
+        # buffer) ...
+        for proxy in [acc_proxy, *opt_references]:
+            if proxy._ft.inflight_checkpoints:
+                yield proxy.drain_checkpoints()
+        # ... then: a workload that finished *during* the storage
         # outage still holds buffered checkpoints; one more checkpoint
         # attempt flushes them now that the store has healed.
         for proxy in [acc_proxy, *opt_references]:
@@ -351,6 +370,14 @@ def run_scenario(
     )
     report.checkpoint_buffer_depth_end = sum(
         len(c.buffered_checkpoints) for c in contexts
+    )
+    report.checkpoints_skipped = sum(c.checkpoints_skipped for c in contexts)
+    report.deltas_sent = sum(c.deltas_sent for c in contexts)
+    report.fulls_sent = sum(c.fulls_sent for c in contexts)
+    report.delta_fallbacks = sum(c.delta_fallbacks for c in contexts)
+    report.pipeline_stalls = sum(c.pipeline_stalls for c in contexts)
+    report.checkpoint_pipeline_depth_end = sum(
+        c.pipeline_depth for c in contexts
     )
     report.drop_listener_errors = runtime.network.drop_listener_errors
     report.chaos_events = list(runtime.failures.chaos_events) + [
@@ -428,6 +455,13 @@ def export_campaign_metrics(result: CampaignResult, registry) -> None:
         )
         registry.gauge("chaos_checkpoints_flushed", **labels).set(
             r.checkpoints_flushed
+        )
+        registry.gauge("chaos_checkpoint_deltas", **labels).set(r.deltas_sent)
+        registry.gauge("chaos_checkpoints_skipped", **labels).set(
+            r.checkpoints_skipped
+        )
+        registry.gauge("chaos_pipeline_stalls", **labels).set(
+            r.pipeline_stalls
         )
 
 

@@ -116,6 +116,11 @@ def check_report(report: "ScenarioReport") -> list[str]:
             f"{report.checkpoint_buffer_depth_end} checkpoint(s) stranded in "
             "degraded-mode buffers at end of run"
         )
+    if report.checkpoint_pipeline_depth_end:
+        violations.append(
+            f"{report.checkpoint_pipeline_depth_end} pipelined checkpoint "
+            "store(s) still in flight at end of run"
+        )
 
     # scenario-specific expectations -------------------------------------------
     if report.expects.get("degraded_flush"):

@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.bench.reporting import format_table
+from repro.orb import cdr
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.runtime import Runtime
@@ -50,15 +51,17 @@ def runtime_report(runtime: "Runtime") -> dict:
             entry["total_latency"] / entry["calls"] if entry["calls"] else 0.0
         )
 
+    servant = runtime.store_servant
     ft = {
-        "checkpoints_stored": (
-            runtime.store_servant.stores if runtime.store_servant else 0
-        ),
+        "checkpoints_stored": servant.stores if servant else 0,
         "checkpoint_bytes": (
-            runtime.store_servant.backend.bytes_written
-            if runtime.store_servant
-            else 0
+            servant.backend.bytes_written if servant else 0
         ),
+        "delta_stores": servant.delta_stores if servant else 0,
+        "delta_bytes": (
+            servant.backend.delta_bytes_written if servant else 0
+        ),
+        "delta_rejections": servant.delta_rejections if servant else 0,
         "recoveries": sum(c.recoveries for c in runtime._coordinators.values()),
         "failed_recoveries": sum(
             c.failed_recoveries for c in runtime._coordinators.values()
@@ -67,6 +70,30 @@ def runtime_report(runtime: "Runtime") -> dict:
             c.recovery_time_total for c in runtime._coordinators.values()
         ),
     }
+
+    # Per-proxy checkpoint fast-path behaviour, aggregated across every
+    # FtContext the runtime handed out.
+    contexts = runtime._ft_contexts
+    proxies = {
+        "proxies": len(contexts),
+        "calls": sum(c.calls for c in contexts),
+        "checkpoints_taken": sum(c.checkpoints_taken for c in contexts),
+        "retries": sum(c.retries for c in contexts),
+        "checkpoints_buffered": sum(c.checkpoints_buffered for c in contexts),
+        "checkpoints_flushed": sum(c.checkpoints_flushed for c in contexts),
+        "checkpoints_skipped": sum(c.checkpoints_skipped for c in contexts),
+        "deltas_sent": sum(c.deltas_sent for c in contexts),
+        "fulls_sent": sum(c.fulls_sent for c in contexts),
+        "delta_fallbacks": sum(c.delta_fallbacks for c in contexts),
+        "bytes_shipped": sum(c.checkpoint_bytes_shipped for c in contexts),
+        "pipeline_stalls": sum(c.pipeline_stalls for c in contexts),
+        "pipeline_peak_depth": max(
+            (c.pipeline_peak_depth for c in contexts), default=0
+        ),
+        "pipeline_inflight": sum(c.pipeline_depth for c in contexts),
+        "buffer_depth": sum(len(c.buffered_checkpoints) for c in contexts),
+    }
+
     return {
         "simulated_time": sim.now,
         "hosts": hosts,
@@ -78,6 +105,8 @@ def runtime_report(runtime: "Runtime") -> dict:
         },
         "operations": operations,
         "fault_tolerance": ft,
+        "ft_proxies": proxies,
+        "cdr_plan_cache": cdr.plan_cache_stats(),
         "observability": sim.obs.report(),
     }
 
@@ -133,6 +162,42 @@ def format_runtime_report(report: dict) -> str:
         f"({ft['recovery_time_total']:.3f}s), "
         f"{ft['failed_recoveries']} failed"
     )
+    proxies = report.get("ft_proxies")
+    if proxies and proxies["proxies"]:
+        line = (
+            f"FT proxies: {proxies['proxies']} proxies, "
+            f"{proxies['calls']} calls, "
+            f"{proxies['checkpoints_taken']} checkpoints taken "
+            f"({proxies['checkpoints_buffered']} buffered, "
+            f"{proxies['checkpoints_flushed']} flushed)"
+        )
+        fastpath = (
+            proxies["checkpoints_skipped"]
+            or proxies["deltas_sent"]
+            or proxies["pipeline_stalls"]
+            or proxies["pipeline_peak_depth"]
+        )
+        if fastpath:
+            line += (
+                f"; fast path: {proxies['deltas_sent']} deltas / "
+                f"{proxies['fulls_sent']} fulls "
+                f"({proxies['delta_fallbacks']} fallbacks, "
+                f"{proxies['checkpoints_skipped']} skipped, "
+                f"{proxies['bytes_shipped']} bytes shipped), "
+                f"pipeline peak depth {proxies['pipeline_peak_depth']} "
+                f"({proxies['pipeline_stalls']} stalls)"
+            )
+        sections.append(line)
+    plans = report.get("cdr_plan_cache")
+    if plans and (plans["encoder_plan_hits"] or plans["decoder_plan_hits"]):
+        sections.append(
+            f"CDR plan cache: {plans['encoder_plan_hits']} encoder hits / "
+            f"{plans['encoder_plans_compiled']} compiled, "
+            f"{plans['decoder_plan_hits']} decoder hits / "
+            f"{plans['decoder_plans_compiled']} compiled, "
+            f"any-memo {plans['any_memo_hits']} hits / "
+            f"{plans['any_memo_misses']} misses"
+        )
     obs = report.get("observability")
     if obs:
         sections.append(

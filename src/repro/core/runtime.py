@@ -79,6 +79,9 @@ class Runtime:
         self._factories: dict[str, ObjectFactoryServant] = {}
         self._factory_types: dict[str, Callable[[], object]] = {}
         self._coordinators: dict[str, RecoveryCoordinator] = {}
+        #: every FtContext built via ft_proxy — runtime_report aggregates
+        #: their per-proxy checkpoint counters.
+        self._ft_contexts: list[FtContext] = []
         self._loads: list[BackgroundLoad] = []
         self.system_manager: Optional[SystemManager] = None
         self.winner_servant = None
@@ -305,6 +308,7 @@ class Runtime:
             policy=policy or self.config.recovery_policy or FtPolicy(),
             group_name=group_name,
         )
+        self._ft_contexts.append(context)
         proxy_class = make_ft_proxy(stub_class)
         return proxy_class(orb, ior, context)
 

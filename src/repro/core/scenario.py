@@ -59,6 +59,11 @@ class Scenario:
     checkpoint_interval: int = 1
     checkpoint_processing_work: float = 0.015
     checkpoint_backend: str = "memory"
+    #: checkpoint fast-path knobs (sync + full states = paper behaviour).
+    checkpoint_mode: str = "sync"
+    checkpoint_deltas: bool = False
+    checkpoint_pipeline_depth: int = 1
+    checkpoint_full_interval: int = 8
     worker_iterations: int = 20_000
     manager_iterations: int = 18
     manager_points: Optional[int] = None
@@ -140,7 +145,15 @@ class Scenario:
                         type_name=WORKER_TYPE,
                         group_name=WORKER_GROUP,
                         policy=FtPolicy(
-                            checkpoint_interval=self.checkpoint_interval
+                            checkpoint_interval=self.checkpoint_interval,
+                            checkpoint_mode=self.checkpoint_mode,
+                            checkpoint_deltas=self.checkpoint_deltas,
+                            checkpoint_pipeline_depth=(
+                                self.checkpoint_pipeline_depth
+                            ),
+                            checkpoint_full_interval=(
+                                self.checkpoint_full_interval
+                            ),
                         ),
                     )
                 else:

@@ -13,6 +13,9 @@ BACKOFF_MODES = ("fixed", "decorrelated-jitter")
 #: recognised checkpoint-failure dispositions.
 CHECKPOINT_FAILURE_MODES = ("raise", "ignore", "degraded")
 
+#: recognised checkpoint execution modes.
+CHECKPOINT_MODES = ("sync", "pipelined")
+
 
 @dataclass
 class FtPolicy:
@@ -66,6 +69,22 @@ class FtPolicy:
     #: most checkpoints buffered client-side in degraded mode (oldest
     #: are dropped first — recovery only ever needs the newest).
     checkpoint_buffer_limit: int = 8
+    #: "sync" — the paper's behaviour: the wrapped call completes only
+    #: after its checkpoint is fetched *and* stored.  "pipelined" — the
+    #: call returns as soon as the invocation succeeds; the state fetch
+    #: still happens under the proxy lock (so it cannot capture effects
+    #: of a later call) but the store round-trip runs in a background
+    #: process, overlapped with subsequent calls.
+    checkpoint_mode: str = "sync"
+    #: bounded in-flight window for pipelined mode: a new checkpoint
+    #: stalls until fewer than this many stores are outstanding.
+    checkpoint_pipeline_depth: int = 1
+    #: ship recursive dict deltas against the previous checkpoint (with
+    #: a content-hash skip for unchanged state) instead of full states.
+    checkpoint_deltas: bool = False
+    #: in delta mode, ship a full snapshot every k-th checkpoint so the
+    #: server-side restore chain stays bounded (at most k records).
+    checkpoint_full_interval: int = 8
 
     def __post_init__(self) -> None:
         if self.checkpoint_interval < 1:
@@ -99,6 +118,15 @@ class FtPolicy:
             )
         if self.checkpoint_buffer_limit < 1:
             raise ConfigurationError("checkpoint_buffer_limit must be >= 1")
+        if self.checkpoint_mode not in CHECKPOINT_MODES:
+            raise ConfigurationError(
+                f"checkpoint_mode must be one of {CHECKPOINT_MODES}, "
+                f"got {self.checkpoint_mode!r}"
+            )
+        if self.checkpoint_pipeline_depth < 1:
+            raise ConfigurationError("checkpoint_pipeline_depth must be >= 1")
+        if self.checkpoint_full_interval < 1:
+            raise ConfigurationError("checkpoint_full_interval must be >= 1")
 
     def backoff_delay(self, previous: float, rng) -> float:
         """Next retry pause given the ``previous`` one.

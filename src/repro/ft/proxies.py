@@ -21,6 +21,20 @@ Per wrapped call the proxy:
 3. after success, fetches a checkpoint from the server
    (``get_checkpoint``) and stores it in the checkpoint storage service
    (every call by default; every k-th with ``checkpoint_interval=k``).
+
+The checkpoint *fast path* (off by default — the paper's fully synchronous
+step 3 is what Table 1 measures) splits step 3 in two:
+
+- ``checkpoint_mode="pipelined"`` — the caller's future is resolved as
+  soon as the invocation succeeds.  The state fetch still runs under the
+  per-proxy lock (a snapshot must not observe effects of a later call),
+  but the store round-trip runs in a background process, FIFO-chained so
+  versions arrive at the store in order, with at most
+  ``checkpoint_pipeline_depth`` stores outstanding.
+- ``checkpoint_deltas=True`` — consecutive states are diffed; only the
+  changed entries ship (``store_delta``), with a content-hash skip when
+  nothing changed at all and a full snapshot every
+  ``checkpoint_full_interval``-th checkpoint to bound the restore chain.
 """
 
 from __future__ import annotations
@@ -33,10 +47,34 @@ from repro.errors import RecoveryError
 from repro.ft.checkpointable import CHECKPOINT_OPERATIONS
 from repro.ft.policy import FtPolicy
 from repro.ft.recovery import RECOVERABLE, RecoveryCoordinator
+from repro.orb.cdr import AnyEncodeMemo, encode_any
 from repro.orb.stubs import ObjectStub
+from repro.services.checkpoint import (
+    BadDeltaBase,
+    compute_delta,
+    state_digest,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.events import SimFuture
+
+
+@dataclass
+class _PendingCheckpoint:
+    """A captured-but-not-yet-persisted checkpoint."""
+
+    version: int
+    state: object
+    #: encoded full state (delta mode only; None on the paper path, which
+    #: leaves all marshalling to the stub layer).
+    data: Optional[bytes] = None
+    #: delta payload against ``base_version`` (None = ship the full state).
+    delta: Optional[dict] = None
+    delta_bytes: int = 0
+    base_version: int = -1
+    #: resolved (always with None) when the background persist finishes —
+    #: the pipeline window, drains and recovery wait on this.
+    future: Optional["SimFuture"] = None
 
 
 @dataclass
@@ -71,11 +109,43 @@ class FtContext:
     buffered_checkpoints: list = field(default_factory=list)
     checkpoints_buffered: int = 0
     checkpoints_flushed: int = 0
+    #: pipelined mode: captures whose store round-trip is still running,
+    #: oldest first (persists are FIFO-chained, so they also *finish* in
+    #: this order).
+    inflight_checkpoints: list = field(default_factory=list)
+    pipeline_stalls: int = 0
+    pipeline_peak_depth: int = 0
+    #: delta-mode counters: stores skipped outright (state unchanged),
+    #: deltas vs. full snapshots shipped, and deltas the store rejected
+    #: (``BadDeltaBase`` → resent as fulls).
+    checkpoints_skipped: int = 0
+    deltas_sent: int = 0
+    fulls_sent: int = 0
+    delta_fallbacks: int = 0
+    #: encoded payload bytes shipped to the store (delta mode).
+    checkpoint_bytes_shipped: int = 0
+    #: pipelined + ``on_checkpoint_failure="raise"``: a background persist
+    #: failure parks here and fails the *next* wrapped call (the one it
+    #: belonged to was already acknowledged).
+    _pipeline_error: Optional[BaseException] = None
+    # delta/skip base: the last state whose persist was handed to the
+    # store, its content digest and version.  Reset on persist failure so
+    # a skip or delta never references content the store lost.
+    _last_state: Optional[object] = None
+    _last_digest: Optional[str] = None
+    _last_version: int = 0
+    _deltas_since_full: int = 0
+    _encode_memo: AnyEncodeMemo = field(default_factory=AnyEncodeMemo)
 
     @property
     def degraded(self) -> bool:
         """True while checkpoints are parked client-side."""
         return bool(self.buffered_checkpoints)
+
+    @property
+    def pipeline_depth(self) -> int:
+        """Stores currently in flight (pipelined mode)."""
+        return len(self.inflight_checkpoints)
 
     def latest_buffered(self):
         """Newest buffered ``(version, state)`` or None."""
@@ -130,6 +200,12 @@ class _FtProxyBase:
         with obs.tracer.span(
             f"ft:{operation}", host=self._orb.host.name, service=ft.key
         ) as span:
+            if ft._pipeline_error is not None:
+                error = ft._pipeline_error
+                ft._pipeline_error = None
+                span.mark_error(error)
+                outer.try_fail(error)
+                return
             while True:
                 try:
                     result = yield ObjectStub._invoke(self, operation, args)
@@ -159,17 +235,15 @@ class _FtProxyBase:
                         outer.try_fail(recovery_error)
                         return
             span.set_attr("attempts", attempts + 1)
-            if not (yield from self._after_success(span, outer)):
-                return
-            outer.try_succeed(result)
+            yield from self._after_success(span, outer, result)
 
-    def _after_success(self, span, outer):
+    def _after_success(self, span, outer, result):
         """Generator: post-success bookkeeping plus the checkpoint step.
 
         Shared by the wrapped-stub path and the DII request-proxy path so
         the ``on_checkpoint_failure`` policy cannot diverge between them.
-        Returns False when ``outer`` was failed (caller must bail out
-        without succeeding it).
+        Settles ``outer`` — in pipelined mode *before* the checkpoint work,
+        otherwise after it (or fails it, per ``on_checkpoint_failure``).
         """
         ft = self._ft
         policy = ft.policy
@@ -181,24 +255,33 @@ class _FtProxyBase:
             ft.store is None
             or ft._calls_since_checkpoint < policy.checkpoint_interval
         ):
-            return True
+            outer.try_succeed(result)
+            return
+        if policy.checkpoint_mode == "pipelined":
+            # The caller resumes now; capture + persist continue behind it
+            # (capture under the lock, persist in the background).
+            outer.try_succeed(result)
+            yield from self._checkpoint_pipelined()
+            return
         try:
             yield from self._take_checkpoint()
         except Exception as exc:  # noqa: BLE001 - policy decides
             if policy.on_checkpoint_failure == "raise":
                 span.mark_error(exc)
                 outer.try_fail(exc)
-                return False
+                return
             self._orb.sim.trace.emit(
                 "ft",
                 "checkpoint failed (ignored)",
                 service=ft.key,
                 error=type(exc).__name__,
             )
-        return True
+        outer.try_succeed(result)
 
     def _take_checkpoint(self):
-        """Fetch state from the server and persist it in the store.
+        """Fetch state from the server and persist it in the store —
+        synchronously (any in-flight pipelined stores drain first, so a
+        forced checkpoint never commits out of order).
 
         In degraded mode (``on_checkpoint_failure="degraded"``) a storage
         failure buffers the checkpoint client-side instead of raising; the
@@ -208,15 +291,19 @@ class _FtProxyBase:
         ft = self._ft
         obs = self._orb.sim.obs
         started = self._orb.sim.now
+        yield from self._drain_pipeline()
         with obs.tracer.span(
             "ft:checkpoint", host=self._orb.host.name, service=ft.key
         ):
             state = yield ObjectStub._invoke(self, "get_checkpoint", ())
-            version = next(ft._versions)
+            pending = self._prepare_checkpoint(state)
+            if pending is None:
+                ft._calls_since_checkpoint = 0
+                return
             if ft.policy.on_checkpoint_failure == "degraded":
-                yield from self._store_or_buffer(version, state)
+                yield from self._store_or_buffer(pending)
             else:
-                yield ft.store.store(ft.key, version, state)
+                yield from self._store_pending(pending)
         ft.checkpoints_taken += 1
         ft._calls_since_checkpoint = 0
         obs.metrics.counter("ft_checkpoints_total", service=ft.key).inc()
@@ -224,7 +311,191 @@ class _FtProxyBase:
             "ft_checkpoint_seconds", service=ft.key
         ).observe(self._orb.sim.now - started)
 
-    def _store_or_buffer(self, version, state):
+    def _checkpoint_pipelined(self):
+        """Pipelined step 3: capture the state under the proxy lock, then
+        hand the store round-trip to a background process.
+
+        The in-flight window is bounded: once ``checkpoint_pipeline_depth``
+        stores are outstanding, the *capture* stalls (which in turn stalls
+        the next call on this proxy — backpressure, not unbounded queueing).
+        Persists are FIFO-chained on the previous persist's future so
+        versions arrive at the store in order.
+        """
+        ft = self._ft
+        policy = ft.policy
+        orb = self._orb
+        obs = orb.sim.obs
+        while len(ft.inflight_checkpoints) >= policy.checkpoint_pipeline_depth:
+            ft.pipeline_stalls += 1
+            obs.metrics.counter(
+                "ft_pipeline_stalls_total", service=ft.key
+            ).inc()
+            yield ft.inflight_checkpoints[0].future
+        started = orb.sim.now
+        with obs.tracer.span(
+            "ft:checkpoint", host=orb.host.name, service=ft.key
+        ):
+            try:
+                state = yield ObjectStub._invoke(self, "get_checkpoint", ())
+            except Exception as exc:  # noqa: BLE001 - policy decides
+                self._note_persist_failure(exc)
+                return
+            pending = self._prepare_checkpoint(state)
+        ft._calls_since_checkpoint = 0
+        if pending is None:
+            return
+        pending.future = orb.sim.future(
+            label=f"ft-persist:{ft.key}:{pending.version}"
+        )
+        prev = (
+            ft.inflight_checkpoints[-1].future
+            if ft.inflight_checkpoints
+            else None
+        )
+        ft.inflight_checkpoints.append(pending)
+        depth = len(ft.inflight_checkpoints)
+        ft.pipeline_peak_depth = max(ft.pipeline_peak_depth, depth)
+        obs.metrics.gauge(
+            "ft_checkpoint_pipeline_depth", service=ft.key
+        ).set(depth)
+        ft.checkpoints_taken += 1
+        obs.metrics.counter("ft_checkpoints_total", service=ft.key).inc()
+        orb.host.spawn(
+            self._persist_pipelined(pending, prev, started),
+            name=f"ft-persist:{ft.key}",
+        )
+
+    def _persist_pipelined(self, pending, prev_future, started):
+        """Background half of a pipelined checkpoint.  Never lets an
+        exception escape (the call it belongs to was already acknowledged):
+        degraded mode buffers, raise mode parks the error for the next
+        call, ignore mode traces.  Always resolves ``pending.future``."""
+        ft = self._ft
+        obs = self._orb.sim.obs
+        try:
+            if prev_future is not None:
+                yield prev_future
+            if ft.policy.on_checkpoint_failure == "degraded":
+                yield from self._store_or_buffer(pending)
+            else:
+                try:
+                    yield from self._store_pending(pending)
+                except Exception as exc:  # noqa: BLE001 - policy decides
+                    self._note_persist_failure(exc)
+        finally:
+            try:
+                ft.inflight_checkpoints.remove(pending)
+            except ValueError:
+                pass
+            obs.metrics.gauge(
+                "ft_checkpoint_pipeline_depth", service=ft.key
+            ).set(len(ft.inflight_checkpoints))
+            obs.metrics.histogram(
+                "ft_checkpoint_seconds", service=ft.key
+            ).observe(self._orb.sim.now - started)
+            pending.future.try_succeed(None)
+
+    def _note_persist_failure(self, exc) -> None:
+        ft = self._ft
+        if ft.policy.on_checkpoint_failure == "raise":
+            ft._pipeline_error = exc
+        self._orb.sim.trace.emit(
+            "ft",
+            "checkpoint failed (pipelined)",
+            service=ft.key,
+            error=type(exc).__name__,
+        )
+
+    def _prepare_checkpoint(self, state) -> Optional[_PendingCheckpoint]:
+        """Assign a version and (in delta mode) decide *what* to ship.
+
+        Returns None when the state's content hash matches the last one the
+        store received — nothing to do.  The skip and the delta path are
+        both disabled while checkpoints are buffered client-side: with the
+        store's latest version unknown, only full states are safe.
+        """
+        ft = self._ft
+        policy = ft.policy
+        obs = self._orb.sim.obs
+        if not policy.checkpoint_deltas:
+            return _PendingCheckpoint(version=next(ft._versions), state=state)
+        data = ft._encode_memo.encode(state)
+        digest = state_digest(data)
+        if digest == ft._last_digest and not ft.buffered_checkpoints:
+            ft.checkpoints_skipped += 1
+            obs.metrics.counter(
+                "ft_checkpoints_skipped_total", service=ft.key
+            ).inc()
+            return None
+        version = next(ft._versions)
+        pending = _PendingCheckpoint(version=version, state=state, data=data)
+        if (
+            ft._last_state is not None
+            and not ft.buffered_checkpoints
+            and ft._deltas_since_full < policy.checkpoint_full_interval - 1
+        ):
+            delta = compute_delta(ft._last_state, state)
+            if delta is not None:
+                delta_data = encode_any(delta)
+                if len(delta_data) < len(data):
+                    pending.delta = delta
+                    pending.delta_bytes = len(delta_data)
+                    pending.base_version = ft._last_version
+        ft._deltas_since_full = (
+            ft._deltas_since_full + 1 if pending.delta is not None else 0
+        )
+        ft._last_state = state
+        ft._last_digest = digest
+        ft._last_version = version
+        return pending
+
+    def _store_pending(self, pending: _PendingCheckpoint):
+        """Ship one prepared checkpoint: the delta if we have one (falling
+        back to a full store when the server rejects its base), otherwise
+        the full state.  On failure, forget the delta/skip base — its
+        content never reached the store — and re-raise."""
+        ft = self._ft
+        obs = self._orb.sim.obs
+        try:
+            if pending.delta is not None:
+                try:
+                    yield ft.store.store_delta(
+                        ft.key,
+                        pending.base_version,
+                        pending.version,
+                        pending.delta,
+                    )
+                except BadDeltaBase:
+                    ft.delta_fallbacks += 1
+                    obs.metrics.counter(
+                        "ft_checkpoint_delta_fallbacks_total", service=ft.key
+                    ).inc()
+                else:
+                    ft.deltas_sent += 1
+                    ft.checkpoint_bytes_shipped += pending.delta_bytes
+                    obs.metrics.counter(
+                        "ft_checkpoint_deltas_total", service=ft.key
+                    ).inc()
+                    obs.metrics.counter(
+                        "ft_checkpoint_bytes_total", service=ft.key, kind="delta"
+                    ).inc(pending.delta_bytes)
+                    return
+            yield ft.store.store(ft.key, pending.version, pending.state)
+            ft.fulls_sent += 1
+            obs.metrics.counter(
+                "ft_checkpoint_fulls_total", service=ft.key
+            ).inc()
+            if pending.data is not None:
+                ft.checkpoint_bytes_shipped += len(pending.data)
+                obs.metrics.counter(
+                    "ft_checkpoint_bytes_total", service=ft.key, kind="full"
+                ).inc(len(pending.data))
+        except Exception:
+            ft._last_state = None
+            ft._last_digest = None
+            raise
+
+    def _store_or_buffer(self, pending: _PendingCheckpoint):
         """Degraded-mode store: flush any buffered checkpoints, then store
         the new one; on a storage failure, park it client-side (the call it
         belongs to has already succeeded — losing the *call* to a storage
@@ -243,9 +514,9 @@ class _FtProxyBase:
                 obs.metrics.counter(
                     "ft_checkpoints_flushed_total", service=ft.key
                 ).inc()
-            yield ft.store.store(ft.key, version, state)
+            yield from self._store_pending(pending)
         except SystemException as exc:
-            ft.buffered_checkpoints.append((version, state))
+            ft.buffered_checkpoints.append((pending.version, pending.state))
             del ft.buffered_checkpoints[: -ft.policy.checkpoint_buffer_limit]
             ft.checkpoints_buffered += 1
             obs.metrics.counter(
@@ -255,7 +526,7 @@ class _FtProxyBase:
                 "ft",
                 "checkpoint buffered (store unreachable)",
                 service=ft.key,
-                version=version,
+                version=pending.version,
                 error=type(exc).__name__,
             )
         else:
@@ -267,10 +538,18 @@ class _FtProxyBase:
             "ft_checkpoint_buffer_depth", service=ft.key
         ).set(len(ft.buffered_checkpoints))
 
+    def _drain_pipeline(self):
+        """Generator: wait until no pipelined persists are in flight.
+        Callers hold the proxy lock, so no new captures can slip in."""
+        ft = self._ft
+        while ft.inflight_checkpoints:
+            yield ft.inflight_checkpoints[-1].future
+
     # -- manual controls (used by migration and tests) ----------------------------------
 
     def checkpoint_now(self) -> "SimFuture":
-        """Force an immediate checkpoint of the current server state."""
+        """Force an immediate synchronous checkpoint of the current server
+        state (in pipelined mode, after draining in-flight stores)."""
         orb = self._orb
         outer = orb.sim.future(label=f"ft-checkpoint:{self._ft.key}")
 
@@ -283,6 +562,26 @@ class _FtProxyBase:
             outer.try_succeed(None)
 
         process = orb.host.spawn(run(), name="ft-checkpoint")
+        process.add_done_callback(
+            lambda p: outer.try_fail(p.exception) if p.failed else None
+        )
+        return outer
+
+    def drain_checkpoints(self) -> "SimFuture":
+        """Wait until every pipelined checkpoint store has settled (stored,
+        buffered, or noted as failed).  A no-op in sync mode."""
+        orb = self._orb
+        outer = orb.sim.future(label=f"ft-drain:{self._ft.key}")
+
+        def run():
+            yield self._ft_lock.acquire()
+            try:
+                yield from self._drain_pipeline()
+            finally:
+                self._ft_lock.release()
+            outer.try_succeed(None)
+
+        process = orb.host.spawn(run(), name="ft-drain")
         process.add_done_callback(
             lambda p: outer.try_fail(p.exception) if p.failed else None
         )

@@ -100,6 +100,11 @@ class RecoveryCoordinator:
         """
         sim = self.orb.sim
         context = proxy._ft
+        # Pipelined mode: settle every in-flight checkpoint store first.
+        # The failing call holds the proxy lock, so no new captures can
+        # start; persists that fail against a down store land in the
+        # degraded buffer, which _restore already prefers when newer.
+        yield from proxy._drain_pipeline()
         inflight = self._inflight.get(context.key)
         if inflight is not None:
             self.coalesced += 1

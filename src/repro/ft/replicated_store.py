@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Sequence, TYPE_CHECKING
 
 from repro.errors import RecoveryError, SystemException
-from repro.services.checkpoint import NoCheckpoint
+from repro.services.checkpoint import BadDeltaBase, NoCheckpoint
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.events import SimFuture
@@ -55,6 +55,14 @@ class ReplicatedCheckpointStore:
 
     def store(self, key: str, version: int, state) -> "SimFuture":
         return self._spawn(self._store_proc(key, version, state), "rstore:store")
+
+    def store_delta(
+        self, key: str, base_version: int, version: int, delta
+    ) -> "SimFuture":
+        return self._spawn(
+            self._store_delta_proc(key, base_version, version, delta),
+            "rstore:store_delta",
+        )
 
     def load(self, key: str) -> "SimFuture":
         return self._spawn(self._load_proc("load", (key,)), "rstore:load")
@@ -95,6 +103,40 @@ class ReplicatedCheckpointStore:
         if successes < self.write_quorum:
             raise RecoveryError(
                 f"checkpoint write quorum not met ({successes}/"
+                f"{self.write_quorum} of {len(self._stubs)})"
+            ) from last_error
+        return None
+
+    def _store_delta_proc(self, key: str, base_version: int, version: int, delta):
+        """Fan a delta out to every replica.  Any ``BadDeltaBase`` answer
+        propagates: one replica missing the base means the client must fall
+        back to a full store, which re-converges *all* replicas (a replica
+        that already committed the delta just records the same version
+        twice — ``read_latest`` takes the newest record, so that's
+        harmless)."""
+        futures = [
+            stub.store_delta(key, base_version, version, delta)
+            for stub in self._stubs
+        ]
+        successes = 0
+        last_error: BaseException | None = None
+        bad_base: BadDeltaBase | None = None
+        for future in futures:
+            try:
+                yield future
+                successes += 1
+            except BadDeltaBase as exc:
+                bad_base = exc
+            except SystemException as exc:
+                last_error = exc
+        self.writes += 1
+        if bad_base is not None:
+            raise bad_base
+        if successes < len(self._stubs):
+            self.degraded_writes += 1
+        if successes < self.write_quorum:
+            raise RecoveryError(
+                f"checkpoint delta write quorum not met ({successes}/"
                 f"{self.write_quorum} of {len(self._stubs)})"
             ) from last_error
         return None

@@ -139,10 +139,9 @@ class FtRequest:
                         return
             span.set_attr("attempts", self.attempts)
             # The post-success bookkeeping + checkpoint step is the object
-            # proxy's, shared verbatim so the two paths apply one policy.
-            if not (yield from proxy._after_success(span, self._outer)):
-                return
-            self._outer.try_succeed(result)
+            # proxy's, shared verbatim so the two paths apply one policy
+            # (it settles self._outer, pipelined mode included).
+            yield from proxy._after_success(span, self._outer, result)
 
     def _ensure_sent(self) -> None:
         if self._outer is None:

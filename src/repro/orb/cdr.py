@@ -17,6 +17,19 @@ Numeric sequences take a vectorized NumPy fast path: a ``sequence<double>``
 is written as one buffer, not element-by-element — the optimization guides'
 "vectorize the hot loop" rule applied to marshalling, which *is* the hot
 loop of an ORB.
+
+Two caches take re-walking out of the hot loop:
+
+* **encoder/decoder plans** — :class:`TypeCode` is a frozen (hashable)
+  dataclass, so the kind-dispatch over a typecode tree can be compiled
+  once into nested closures and memoized per typecode
+  (:func:`encoder_plan` / :func:`decoder_plan`).  ``write_value`` /
+  ``read_value`` consult the plan cache unless it is disabled via
+  :func:`set_plan_cache_enabled` (the parity tests flip it);
+* **:class:`AnyEncodeMemo`** — callers that repeatedly encode the same
+  logical value (the checkpoint path encodes the server state after
+  every call, and most calls barely change it) get the previous bytes
+  back after a structural equality check instead of a full re-encode.
 """
 
 from __future__ import annotations
@@ -212,6 +225,12 @@ class CdrOutputStream:
     # -- typed values -----------------------------------------------------------
 
     def write_value(self, tc: TypeCode, value: Any) -> None:
+        if _PLAN_CACHE_ENABLED:
+            encoder_plan(tc)(self, value)
+        else:
+            self._write_value_slow(tc, value)
+
+    def _write_value_slow(self, tc: TypeCode, value: Any) -> None:
         kind = tc.kind
         if kind in (TCKind.NULL, TCKind.VOID):
             if value is not None:
@@ -470,6 +489,11 @@ class CdrInputStream:
     # -- typed values ------------------------------------------------------------
 
     def read_value(self, tc: TypeCode) -> Any:
+        if _PLAN_CACHE_ENABLED:
+            return decoder_plan(tc)(self)
+        return self._read_value_slow(tc)
+
+    def _read_value_slow(self, tc: TypeCode) -> Any:
         kind = tc.kind
         if kind in (TCKind.NULL, TCKind.VOID):
             return None
@@ -690,3 +714,319 @@ def decode_any(data: bytes) -> Any:
     if stream.remaining():
         raise CdrError(f"{stream.remaining()} trailing bytes after any value")
     return value
+
+
+# -- encoder/decoder plan cache ---------------------------------------------------
+#
+# A plan is the kind-dispatch over one TypeCode tree compiled into nested
+# closures: sub-typecode plans are resolved once at compile time, so writing
+# a struct of sequences touches no dispatch table per element.  TypeCode is
+# a frozen dataclass, hence hashable, hence a cache key.
+
+_PLAN_CACHE_ENABLED = True
+_ENCODER_PLANS: dict[TypeCode, Callable] = {}
+_DECODER_PLANS: dict[TypeCode, Callable] = {}
+_PLAN_STATS = {
+    "encoder_plans_compiled": 0,
+    "decoder_plans_compiled": 0,
+    "encoder_plan_hits": 0,
+    "decoder_plan_hits": 0,
+    "any_memo_hits": 0,
+    "any_memo_misses": 0,
+}
+
+
+def plan_cache_enabled() -> bool:
+    return _PLAN_CACHE_ENABLED
+
+
+def set_plan_cache_enabled(enabled: bool) -> None:
+    """Globally toggle the plan cache (``write_value``/``read_value`` fall
+    back to the uncached kind-dispatch when off).  Exists for the cache
+    on/off parity tests and for apples-to-apples marshalling benches."""
+    global _PLAN_CACHE_ENABLED
+    _PLAN_CACHE_ENABLED = bool(enabled)
+
+
+def clear_plan_cache() -> None:
+    """Drop every compiled plan and zero the statistics."""
+    _ENCODER_PLANS.clear()
+    _DECODER_PLANS.clear()
+    for key in _PLAN_STATS:
+        _PLAN_STATS[key] = 0
+
+
+def plan_cache_stats() -> dict:
+    """A snapshot of plan-cache and any-memo counters."""
+    return dict(_PLAN_STATS)
+
+
+def encoder_plan(tc: TypeCode) -> Callable[[CdrOutputStream, Any], None]:
+    plan = _ENCODER_PLANS.get(tc)
+    if plan is None:
+        plan = _compile_encoder(tc)
+        _ENCODER_PLANS[tc] = plan
+        _PLAN_STATS["encoder_plans_compiled"] += 1
+    else:
+        _PLAN_STATS["encoder_plan_hits"] += 1
+    return plan
+
+
+def decoder_plan(tc: TypeCode) -> Callable[[CdrInputStream], Any]:
+    plan = _DECODER_PLANS.get(tc)
+    if plan is None:
+        plan = _compile_decoder(tc)
+        _DECODER_PLANS[tc] = plan
+        _PLAN_STATS["decoder_plans_compiled"] += 1
+    else:
+        _PLAN_STATS["decoder_plan_hits"] += 1
+    return plan
+
+
+def _compile_encoder(tc: TypeCode) -> Callable[[CdrOutputStream, Any], None]:
+    kind = tc.kind
+    if kind in (TCKind.NULL, TCKind.VOID):
+
+        def write_null(stream, value, _kind=kind):
+            if value is not None:
+                raise CdrError(f"{_kind.name} carries no value, got {value!r}")
+
+        return write_null
+    if kind is TCKind.BOOLEAN:
+        return lambda stream, value: stream.write_boolean(bool(value))
+    if kind in _PRIMITIVE_FORMATS:
+        if tc.is_integer:
+
+            def write_int(stream, value, _tc=tc, _kind=kind):
+                stream._check_int(_tc, value)
+                stream.write_primitive(_kind, value)
+
+            return write_int
+        return lambda stream, value, _kind=kind: stream.write_primitive(
+            _kind, value
+        )
+    if kind is TCKind.STRING:
+        return lambda stream, value: stream.write_string(value)
+    if kind is TCKind.OCTETS:
+        return lambda stream, value: stream.write_octets(value)
+    if kind is TCKind.SEQUENCE:
+        assert tc.content is not None
+        content = tc.content
+        dtype = _NUMPY_SEQ_DTYPES.get(content.kind)
+        if dtype is not None:
+            _, size = _PRIMITIVE_FORMATS[content.kind]
+
+            def write_numeric_seq(
+                stream, value, _content=content, _dtype=dtype, _size=size
+            ):
+                arr = np.asarray(value)
+                if arr.ndim != 1:
+                    raise CdrError(
+                        f"sequence<{_content!r}> expects a 1-D value, "
+                        f"got shape {arr.shape}"
+                    )
+                stream.write_ulong(arr.shape[0])
+                stream.align(_size)
+                try:
+                    stream._buffer.extend(arr.astype(_dtype, copy=False).tobytes())
+                except (TypeError, ValueError) as exc:
+                    raise CdrError(f"bad element in sequence: {exc}") from exc
+
+            return write_numeric_seq
+        item_plan = encoder_plan(content)
+
+        def write_seq(stream, value, _item_plan=item_plan):
+            items = list(value)
+            stream.write_ulong(len(items))
+            for item in items:
+                _item_plan(stream, item)
+
+        return write_seq
+    if kind is TCKind.ARRAY:
+        assert tc.content is not None
+        item_plan = encoder_plan(tc.content)
+
+        def write_array(stream, value, _item_plan=item_plan, _length=tc.length):
+            items = list(value)
+            if len(items) != _length:
+                raise CdrError(
+                    f"array of length {_length} got {len(items)} elements"
+                )
+            for item in items:
+                _item_plan(stream, item)
+
+        return write_array
+    if kind in (TCKind.STRUCT, TCKind.EXCEPTION):
+        field_plans = tuple(
+            (name, encoder_plan(field_tc)) for name, field_tc in tc.fields
+        )
+
+        def write_struct(stream, value, _plans=field_plans, _name=tc.name):
+            if isinstance(value, dict):
+                for field_name, field_plan in _plans:
+                    if field_name not in value:
+                        raise CdrError(
+                            f"struct {_name} value missing field {field_name!r}"
+                        )
+                    field_plan(stream, value[field_name])
+                return
+            for field_name, field_plan in _plans:
+                try:
+                    field_value = getattr(value, field_name)
+                except AttributeError:
+                    raise CdrError(
+                        f"struct {_name} value {value!r} missing field "
+                        f"{field_name!r}"
+                    ) from None
+                field_plan(stream, field_value)
+
+        return write_struct
+    if kind is TCKind.ENUM:
+        return lambda stream, value, _tc=tc: stream._write_enum(_tc, value)
+    if kind is TCKind.UNION:
+        # Case selection depends on the runtime discriminator; the member
+        # write below re-enters write_value and hits the member's plan.
+        return lambda stream, value, _tc=tc: stream._write_union(_tc, value)
+    if kind is TCKind.OBJREF:
+        return lambda stream, value: stream.write_ior(value)
+    if kind is TCKind.ANY:
+        return lambda stream, value: stream.write_any(value)
+
+    def write_unsupported(stream, value, _kind=kind):
+        raise CdrError(f"cannot encode TypeCode kind {_kind.name}")
+
+    return write_unsupported
+
+
+def _compile_decoder(tc: TypeCode) -> Callable[[CdrInputStream], Any]:
+    kind = tc.kind
+    if kind in (TCKind.NULL, TCKind.VOID):
+        return lambda stream: None
+    if kind is TCKind.BOOLEAN:
+        return lambda stream: stream.read_boolean()
+    if kind in _PRIMITIVE_FORMATS:
+        return lambda stream, _kind=kind: stream.read_primitive(_kind)
+    if kind is TCKind.STRING:
+        return lambda stream: stream.read_string()
+    if kind is TCKind.OCTETS:
+        return lambda stream: stream.read_octets()
+    if kind is TCKind.SEQUENCE:
+        assert tc.content is not None
+        content = tc.content
+        dtype = _NUMPY_SEQ_DTYPES.get(content.kind)
+        if dtype is not None:
+            _, size = _PRIMITIVE_FORMATS[content.kind]
+
+            def read_numeric_seq(stream, _dtype=dtype, _size=size):
+                length = stream.read_ulong()
+                stream.align(_size)
+                raw = stream.read_raw(length * _size)
+                return np.frombuffer(raw, dtype=_dtype).astype(
+                    _dtype[1:], copy=True
+                )
+
+            return read_numeric_seq
+        item_plan = decoder_plan(content)
+
+        def read_seq(stream, _item_plan=item_plan):
+            return [_item_plan(stream) for _ in range(stream.read_ulong())]
+
+        return read_seq
+    if kind is TCKind.ARRAY:
+        assert tc.content is not None
+        item_plan = decoder_plan(tc.content)
+
+        def read_array(stream, _item_plan=item_plan, _length=tc.length):
+            return [_item_plan(stream) for _ in range(_length)]
+
+        return read_array
+    if kind in (TCKind.STRUCT, TCKind.EXCEPTION):
+        field_plans = tuple(
+            (name, decoder_plan(field_tc)) for name, field_tc in tc.fields
+        )
+
+        def read_struct(stream, _plans=field_plans, _name=tc.name):
+            fields = {name: plan(stream) for name, plan in _plans}
+            # Class lookup stays at decode time: registration may happen
+            # after the plan was compiled.
+            cls = _STRUCT_REGISTRY.get(_name)
+            if cls is not None:
+                return cls(**fields)
+            return GenericStruct(_name, **fields)
+
+        return read_struct
+    if kind is TCKind.ENUM:
+        return lambda stream, _tc=tc: stream._read_enum(_tc)
+    if kind is TCKind.UNION:
+        return lambda stream, _tc=tc: stream._read_union(_tc)
+    if kind is TCKind.OBJREF:
+        return lambda stream: stream.read_ior()
+    if kind is TCKind.ANY:
+        return lambda stream: stream.read_any()
+
+    def read_unsupported(stream, _kind=kind):
+        raise CdrError(f"cannot decode TypeCode kind {_kind.name}")
+
+    return read_unsupported
+
+
+# -- unchanged-payload fast path ---------------------------------------------------
+
+
+def values_equal(a: Any, b: Any) -> bool:
+    """Structural equality over the value domain ``any`` can carry.
+
+    ndarray-aware (``==`` on arrays yields an array, so plain comparison
+    is unusable), recursive over dicts and sequences; list/tuple compare
+    equal element-wise because the wire format does not distinguish them.
+    """
+    if a is b:
+        return True
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        if not (isinstance(a, np.ndarray) and isinstance(b, np.ndarray)):
+            return False
+        return a.shape == b.shape and bool(np.array_equal(a, b))
+    if isinstance(a, dict):
+        if not isinstance(b, dict) or len(a) != len(b):
+            return False
+        for key, value in a.items():
+            if key not in b or not values_equal(value, b[key]):
+                return False
+        return True
+    if isinstance(a, (list, tuple)):
+        if not isinstance(b, (list, tuple)) or len(a) != len(b):
+            return False
+        return all(values_equal(x, y) for x, y in zip(a, b))
+    try:
+        return bool(a == b)
+    except Exception:  # noqa: BLE001 - exotic __eq__, treat as unequal
+        return False
+
+
+class AnyEncodeMemo:
+    """Memoized :func:`encode_any` for a caller that repeatedly encodes
+    the same logical value — the checkpoint path, where consecutive
+    server states are often identical or nearly so.
+
+    Holds the last ``(value, bytes)`` pair; a structural-equality hit
+    returns the previous bytes without re-walking the value.  The caller
+    must not mutate a value after encoding it (checkpoint states are
+    fresh objects decoded off the wire, so the proxy path is safe).
+    """
+
+    def __init__(self) -> None:
+        self._value: Any = None
+        self._data: Optional[bytes] = None
+        self.hits = 0
+        self.misses = 0
+
+    def encode(self, value: Any) -> bytes:
+        if self._data is not None and values_equal(self._value, value):
+            self.hits += 1
+            _PLAN_STATS["any_memo_hits"] += 1
+            return self._data
+        self.misses += 1
+        _PLAN_STATS["any_memo_misses"] += 1
+        self._value = value
+        self._data = encode_any(value)
+        return self._data

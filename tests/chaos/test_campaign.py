@@ -99,6 +99,37 @@ def test_seed_actually_varies_the_run():
     assert a.sim_seconds != b.sim_seconds
 
 
+def test_crash_restart_cell_passes_with_pipelined_checkpoints():
+    report = run_scenario(
+        "crash-restart", 11, fast_config(checkpoint_mode="pipelined")
+    )
+    assert report.violations == []
+    assert report.recoveries >= 1
+    # Recovery and shutdown both drained the pipeline.
+    assert report.checkpoint_pipeline_depth_end == 0
+
+
+def test_store_outage_cell_passes_with_pipelined_deltas():
+    report = run_scenario(
+        "store-outage",
+        11,
+        fast_config(checkpoint_mode="pipelined", checkpoint_deltas=True),
+    )
+    assert report.violations == []
+    assert report.checkpoints_buffered > 0
+    assert report.checkpoint_buffer_depth_end == 0
+    assert report.checkpoint_pipeline_depth_end == 0
+
+
+def test_pipeline_left_inflight_is_a_violation():
+    report = run_scenario("baseline", 11, fast_config())
+    assert report.violations == []
+    report.checkpoint_pipeline_depth_end = 2
+    from repro.chaos.invariants import check_report
+
+    assert any("still in flight" in v for v in check_report(report))
+
+
 # -- the matrix ----------------------------------------------------------------
 
 
@@ -165,3 +196,20 @@ def test_cli_runs_a_small_matrix(tmp_path, capsys):
     printed = capsys.readouterr().out
     assert "baseline" in printed
     assert "1 passed, 0 failed" in printed
+
+
+def test_cli_accepts_fastpath_flags(capsys):
+    code = main(
+        [
+            "--scenarios",
+            "crash-restart",
+            "--seeds",
+            "12",
+            "--fast",
+            "--checkpoint-mode",
+            "pipelined",
+            "--deltas",
+        ]
+    )
+    assert code == 0
+    assert "1 passed, 0 failed" in capsys.readouterr().out

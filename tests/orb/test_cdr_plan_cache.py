@@ -1,0 +1,266 @@
+"""Property-style tests for the CDR plan cache (seeded random typecodes).
+
+The cache compiles a TypeCode tree into nested encoder/decoder closures.
+The contract under test: with the cache **on** and **off**, the wire
+bytes and the decoded values are identical — the plans are a pure
+performance optimization, never a semantic one.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.orb import typecodes as tc
+from repro.orb.cdr import (
+    AnyEncodeMemo,
+    CdrInputStream,
+    CdrOutputStream,
+    clear_plan_cache,
+    decode_any,
+    encode_any,
+    plan_cache_enabled,
+    plan_cache_stats,
+    set_plan_cache_enabled,
+    values_equal,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_plan_cache():
+    """Each test starts with an empty cache and restores the global toggle."""
+    was_enabled = plan_cache_enabled()
+    clear_plan_cache()
+    set_plan_cache_enabled(True)
+    yield
+    set_plan_cache_enabled(was_enabled)
+    clear_plan_cache()
+
+
+# -- seeded typecode / value generator ----------------------------------------
+
+_LEAVES = (
+    tc.TC_BOOLEAN,
+    tc.TC_OCTET,
+    tc.TC_SHORT,
+    tc.TC_USHORT,
+    tc.TC_LONG,
+    tc.TC_ULONG,
+    tc.TC_LONGLONG,
+    tc.TC_ULONGLONG,
+    tc.TC_FLOAT,
+    tc.TC_DOUBLE,
+    tc.TC_STRING,
+    tc.TC_OCTETS,
+)
+
+_INT_RANGES = {
+    tc.TCKind.OCTET: (0, 255),
+    tc.TCKind.SHORT: (-(2**15), 2**15 - 1),
+    tc.TCKind.USHORT: (0, 2**16 - 1),
+    tc.TCKind.LONG: (-(2**31), 2**31 - 1),
+    tc.TCKind.ULONG: (0, 2**32 - 1),
+    tc.TCKind.LONGLONG: (-(2**63), 2**63 - 1),
+    tc.TCKind.ULONGLONG: (0, 2**64 - 1),
+}
+
+
+def random_typecode(rng: random.Random, depth: int = 0) -> tc.TypeCode:
+    if depth >= 3 or rng.random() < 0.4:
+        return rng.choice(_LEAVES)
+    shape = rng.choice(("sequence", "array", "struct"))
+    if shape == "sequence":
+        return tc.sequence(random_typecode(rng, depth + 1))
+    if shape == "array":
+        return tc.array(random_typecode(rng, depth + 1), rng.randint(1, 4))
+    fields = [
+        (f"f{i}", random_typecode(rng, depth + 1))
+        for i in range(rng.randint(1, 4))
+    ]
+    return tc.struct(f"S{rng.randrange(10_000)}", fields)
+
+
+def random_value(rng: random.Random, typecode: tc.TypeCode):
+    kind = typecode.kind
+    if kind is tc.TCKind.BOOLEAN:
+        return rng.random() < 0.5
+    if kind in _INT_RANGES:
+        return rng.randint(*_INT_RANGES[kind])
+    if kind is tc.TCKind.FLOAT:
+        # single precision: pick values that survive the narrowing
+        return float(np.float32(rng.uniform(-1e6, 1e6)))
+    if kind is tc.TCKind.DOUBLE:
+        return rng.uniform(-1e12, 1e12)
+    if kind is tc.TCKind.STRING:
+        length = rng.randint(0, 12)
+        return "".join(rng.choice("abcXYZ äöü 0189") for _ in range(length))
+    if kind is tc.TCKind.OCTETS:
+        return bytes(rng.randrange(256) for _ in range(rng.randint(0, 16)))
+    if kind is tc.TCKind.SEQUENCE:
+        return [
+            random_value(rng, typecode.content)
+            for _ in range(rng.randint(0, 5))
+        ]
+    if kind is tc.TCKind.ARRAY:
+        return [
+            random_value(rng, typecode.content)
+            for _ in range(typecode.length)
+        ]
+    if kind is tc.TCKind.STRUCT:
+        return {name: random_value(rng, ftc) for name, ftc in typecode.fields}
+    raise AssertionError(f"generator does not cover {kind}")
+
+
+def encode_with(enabled: bool, typecode: tc.TypeCode, value) -> bytes:
+    set_plan_cache_enabled(enabled)
+    out = CdrOutputStream()
+    out.write_value(typecode, value)
+    return out.getvalue()
+
+
+def decode_with(enabled: bool, typecode: tc.TypeCode, data: bytes):
+    set_plan_cache_enabled(enabled)
+    stream = CdrInputStream(data)
+    value = stream.read_value(typecode)
+    assert stream.remaining() == 0
+    return value
+
+
+# -- cache on/off parity ------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_random_roundtrip_cache_parity(seed):
+    rng = random.Random(1000 + seed)
+    typecode = random_typecode(rng)
+    value = random_value(rng, typecode)
+
+    cached_bytes = encode_with(True, typecode, value)
+    plain_bytes = encode_with(False, typecode, value)
+    assert cached_bytes == plain_bytes
+
+    cached_value = decode_with(True, typecode, cached_bytes)
+    plain_value = decode_with(False, typecode, plain_bytes)
+    # Decoded values may hold ndarrays (numeric sequences) and
+    # GenericStructs, so compare through their canonical re-encoding.
+    assert (
+        encode_with(False, typecode, cached_value)
+        == encode_with(False, typecode, plain_value)
+        == plain_bytes
+    )
+
+
+def random_any_value(rng: random.Random, depth: int = 0):
+    """Natural Python values for the self-describing ``any`` path, where
+    ``infer_typecode`` picks the wire type (ints must fit longlong)."""
+    if depth >= 3 or rng.random() < 0.45:
+        return rng.choice(
+            (
+                rng.random() < 0.5,
+                rng.randint(-(2**62), 2**62),
+                rng.uniform(-1e9, 1e9),
+                "s" * rng.randint(0, 8),
+                bytes(rng.randrange(256) for _ in range(rng.randint(0, 8))),
+            )
+        )
+    if rng.random() < 0.5:
+        return [random_any_value(rng, depth + 1) for _ in range(rng.randint(0, 4))]
+    return {
+        f"k{i}": random_any_value(rng, depth + 1)
+        for i in range(rng.randint(0, 4))
+    }
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_any_roundtrip_cache_parity(seed):
+    rng = random.Random(2000 + seed)
+    value = {"state": random_any_value(rng), "round": seed}
+
+    set_plan_cache_enabled(True)
+    cached_bytes = encode_any(value)
+    set_plan_cache_enabled(False)
+    plain_bytes = encode_any(value)
+    assert cached_bytes == plain_bytes
+
+    set_plan_cache_enabled(True)
+    cached_value = decode_any(cached_bytes)
+    set_plan_cache_enabled(False)
+    plain_value = decode_any(plain_bytes)
+    assert values_equal(cached_value, plain_value)
+    # Re-encoding what either side decoded reproduces the same wire bytes.
+    assert encode_any(cached_value) == encode_any(plain_value)
+
+
+# -- cache mechanics ----------------------------------------------------------
+
+
+def test_plans_compile_once_then_hit():
+    typecode = tc.struct("Pt", [("x", tc.TC_DOUBLE), ("y", tc.TC_DOUBLE)])
+    for _ in range(5):
+        data = encode_with(True, typecode, {"x": 1.0, "y": 2.0})
+        decode_with(True, typecode, data)
+    stats = plan_cache_stats()
+    # one compile per distinct typecode tree (Pt and its double leaf),
+    # every later use a hit
+    assert stats["encoder_plans_compiled"] == stats["decoder_plans_compiled"]
+    assert stats["encoder_plan_hits"] >= 4
+    assert stats["decoder_plan_hits"] >= 4
+
+
+def test_disabled_cache_compiles_nothing():
+    set_plan_cache_enabled(False)
+    typecode = tc.sequence(tc.TC_LONG)
+    data = encode_with(False, typecode, [1, 2, 3])
+    assert list(decode_with(False, typecode, data)) == [1, 2, 3]
+    stats = plan_cache_stats()
+    assert stats["encoder_plans_compiled"] == 0
+    assert stats["decoder_plans_compiled"] == 0
+
+
+def test_clear_plan_cache_resets_stats():
+    encode_with(True, tc.TC_DOUBLE_SEQ, [1.0])
+    assert plan_cache_stats()["encoder_plans_compiled"] > 0
+    clear_plan_cache()
+    assert all(v == 0 for v in plan_cache_stats().values())
+
+
+# -- AnyEncodeMemo ------------------------------------------------------------
+
+
+def test_any_memo_hits_on_structurally_equal_value():
+    memo = AnyEncodeMemo()
+    state = {"total": 7.0, "weights": [1.0, 2.0, 3.0]}
+    first = memo.encode(state)
+    # fresh but equal object (the checkpoint path decodes a new dict per call)
+    second = memo.encode({"total": 7.0, "weights": [1.0, 2.0, 3.0]})
+    assert first is second
+    assert memo.hits == 1 and memo.misses == 1
+    assert first == encode_any(state)
+
+
+def test_any_memo_misses_on_change_and_recovers():
+    memo = AnyEncodeMemo()
+    memo.encode({"total": 1.0})
+    changed = memo.encode({"total": 2.0})
+    assert memo.misses == 2 and memo.hits == 0
+    assert changed == encode_any({"total": 2.0})
+    assert memo.encode({"total": 2.0}) is changed
+
+
+def test_any_memo_is_ndarray_aware():
+    memo = AnyEncodeMemo()
+    a = np.arange(6, dtype=np.float64).reshape(2, 3)
+    first = memo.encode({"w": a})
+    assert memo.encode({"w": a.copy()}) is first
+    bumped = a.copy()
+    bumped[1, 2] += 1.0
+    assert memo.encode({"w": bumped}) is not first
+    assert memo.hits == 1 and memo.misses == 2
+
+
+def test_values_equal_edge_cases():
+    assert values_equal([1, 2], (1, 2))  # wire format can't tell them apart
+    assert not values_equal([1, 2], [1, 2, 3])
+    assert not values_equal(np.array([1.0]), [1.0])
+    assert values_equal({"a": np.array([1.0, 2.0])}, {"a": np.array([1.0, 2.0])})
+    assert not values_equal({"a": 1}, {"b": 1})
