@@ -1,0 +1,450 @@
+"""Resolve fast path: cache / delta-report / connection-reuse ablation.
+
+Three experiments share one artifact:
+
+* the **micro ablation** (``resolve_fastpath_sweep``) — a remote client's
+  resolve+invoke stream under a non-zero scoring/handshake cost model,
+  one cell per fast-path mode (baseline, cache, deltas, conn-reuse, all);
+* the **Fig. 3 workload** — the paper's 30-dim/3-worker grid, run
+  paper-faithfully (pinned goldens) and again with every optimization on;
+* the **recovery bench** — checkpoint/restart under failure injection,
+  paper-faithful (pinned goldens) and optimized, proving the fast path
+  never breaks recovery or state correctness.
+
+The file doubles as the CI bench-smoke gate::
+
+    PYTHONPATH=src python benchmarks/bench_resolve_fastpath.py --quick
+
+which exits non-zero when all-on mode does not at least halve the mean
+resolve-path latency, when a stale selection was ever served, or when the
+paper-faithful baseline numbers drift from the pinned goldens.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from math import isfinite
+from pathlib import Path
+
+from repro.bench import format_table, fig3_sweep
+from repro.bench.ftbench import recovery_bench
+from repro.bench.resolvebench import resolve_fastpath_sweep
+from repro.orb.core import OrbConfig
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Scenario overrides for the optimized Fig. 3 columns: everything on,
+#: same cost model the micro ablation charges.
+FIG3_OPTIMIZED = {
+    "resolve_cache": True,
+    "winner_delta_reports": True,
+    "connection_reuse": True,
+    "connection_handshake_rtts": 2,
+    "resolve_scoring_work": 3e-4,
+}
+
+#: the Fig. 3 shape used here (small 30/3 grid) and its pinned
+#: paper-faithful goldens for seed=7: simulated seconds and placements.
+#: The baseline must keep reproducing these bit-for-bit — every fast-path
+#: flag defaults off.
+FIG3_CONFIGS = ("30/3",)
+FIG3_BG = (0, 4)
+FIG3_WORKER_ITERATIONS = 30_000
+FIG3_MANAGER_ITERATIONS = 6
+GOLDEN_FIG3 = {
+    ("CORBA", 0): (0.8644147199999779, ("ws01", "ws02", "ws03")),
+    ("CORBA", 4): (1.7069799799999945, ("ws01", "ws02", "ws03")),
+    ("CORBA/Winner", 0): (0.8644147199999779, ("ws01", "ws02", "ws03")),
+    ("CORBA/Winner", 4): (1.5386778199999878, ("ws05", "ws06", "ws01")),
+}
+
+#: the recovery-bench shape and its pinned paper-faithful goldens.
+RECOVERY_FAILURES = (0, 1)
+RECOVERY_CALLS = 16
+RECOVERY_CALL_WORK = 0.05
+GOLDEN_RECOVERY = {
+    "0 failure(s)": 1.1032045399999957,
+    "1 failure(s)": 1.133662370000005,
+}
+GOLDEN_RTOL = 1e-6
+
+#: acceptance: all-on must cut mean resolve latency at least this factor.
+MIN_RESOLVE_CUT = 2.0
+
+
+def run_bench(quick: bool = False) -> dict:
+    micro = resolve_fastpath_sweep(
+        resolves=12 if quick else 40,
+        calls_per_resolve=2 if quick else 3,
+    )
+    fig3 = fig3_sweep(
+        configs=FIG3_CONFIGS,
+        background_hosts=FIG3_BG,
+        worker_iterations=FIG3_WORKER_ITERATIONS,
+        manager_iterations=FIG3_MANAGER_ITERATIONS,
+        seed=7,
+    )
+    fig3_opt = fig3_sweep(
+        configs=FIG3_CONFIGS,
+        background_hosts=FIG3_BG,
+        worker_iterations=FIG3_WORKER_ITERATIONS,
+        manager_iterations=FIG3_MANAGER_ITERATIONS,
+        seed=7,
+        scenario_overrides=FIG3_OPTIMIZED,
+    )
+    recovery = recovery_bench(
+        failure_counts=RECOVERY_FAILURES,
+        calls=RECOVERY_CALLS,
+        call_work=RECOVERY_CALL_WORK,
+    )
+    recovery_opt = recovery_bench(
+        failure_counts=RECOVERY_FAILURES,
+        calls=RECOVERY_CALLS,
+        call_work=RECOVERY_CALL_WORK,
+        resolve_cache=True,
+        winner_delta_reports=True,
+        orb=OrbConfig(connection_reuse=True, connection_handshake_rtts=2),
+    )
+    return {
+        "micro": micro,
+        "fig3": fig3,
+        "fig3_optimized": fig3_opt,
+        "recovery": recovery,
+        "recovery_optimized": recovery_opt,
+        "quick": quick,
+    }
+
+
+def check_results(results: dict) -> list[str]:
+    """Every violated acceptance condition (empty = pass)."""
+    failures: list[str] = []
+    micro = {row.label: row for row in results["micro"]}
+    base = micro["baseline"].extra["mean_resolve_latency"]
+    allon = micro["all"].extra["mean_resolve_latency"]
+    if allon * MIN_RESOLVE_CUT > base:
+        failures.append(
+            f"micro: all-on mean resolve latency {allon * 1e3:.3f}ms is not "
+            f"a >= {MIN_RESOLVE_CUT}x cut of baseline's {base * 1e3:.3f}ms"
+        )
+    cache = micro["all"].extra["resolve_cache"]
+    if cache.get("hits", 0) <= cache.get("misses", 0):
+        failures.append(
+            "micro: all-on cache did not hit more than it missed "
+            f"({cache.get('hits')} vs {cache.get('misses')})"
+        )
+    conns = micro["all"].extra["connection_cache"]
+    if conns.get("hits", 0) <= conns.get("opens", 0):
+        failures.append(
+            "micro: connection reuse did not save more handshakes than it "
+            f"paid ({conns.get('hits')} hits vs {conns.get('opens')} opens)"
+        )
+    if (
+        micro["all"].extra["report_bytes_sent"]
+        >= micro["baseline"].extra["report_bytes_sent"]
+    ):
+        failures.append(
+            "micro: delta reports did not shrink Winner report bytes "
+            f"({micro['all'].extra['report_bytes_sent']} vs "
+            f"{micro['baseline'].extra['report_bytes_sent']})"
+        )
+    for row in results["micro"]:
+        if row.extra["stale_served"]:
+            failures.append(
+                f"micro {row.label}: {row.extra['stale_served']} stale "
+                "selection(s) served"
+            )
+
+    fig3 = {
+        (p.strategy, p.background_hosts): p for p in results["fig3"]
+    }
+    for key, (runtime, placements) in GOLDEN_FIG3.items():
+        point = fig3[key]
+        if abs(point.runtime - runtime) > GOLDEN_RTOL * runtime:
+            failures.append(
+                f"fig3 {key}: paper-faithful runtime drifted: "
+                f"{point.runtime!r} != golden {runtime!r}"
+            )
+        if point.placements != placements:
+            failures.append(
+                f"fig3 {key}: paper-faithful placements drifted: "
+                f"{point.placements} != golden {placements}"
+            )
+    opt = {
+        (p.strategy, p.background_hosts): p
+        for p in results["fig3_optimized"]
+    }
+    for point in opt.values():
+        if not isfinite(point.fun):
+            failures.append(
+                f"fig3 optimized {point.strategy}/bg{point.background_hosts}: "
+                f"optimizer value not finite: {point.fun}"
+            )
+    if opt[("CORBA/Winner", 4)].runtime >= opt[("CORBA", 4)].runtime:
+        failures.append(
+            "fig3 optimized: Winner placement no longer beats the "
+            "load-oblivious baseline under background load "
+            f"({opt[('CORBA/Winner', 4)].runtime:.3f}s vs "
+            f"{opt[('CORBA', 4)].runtime:.3f}s)"
+        )
+
+    recovery = {row.label: row for row in results["recovery"]}
+    for label, runtime in GOLDEN_RECOVERY.items():
+        actual = recovery[label].runtime
+        if abs(actual - runtime) > GOLDEN_RTOL * runtime:
+            failures.append(
+                f"recovery {label}: paper-faithful runtime drifted: "
+                f"{actual!r} != golden {runtime!r}"
+            )
+    for row in results["recovery"] + results["recovery_optimized"]:
+        if not row.extra["state_correct"]:
+            failures.append(
+                f"recovery ({row.label}): state incorrect, final total "
+                f"{row.extra['final_total']}"
+            )
+        if row.extra["recoveries"] != row.extra["failures"]:
+            failures.append(
+                f"recovery ({row.label}): {row.extra['recoveries']} "
+                f"recoveries for {row.extra['failures']} failure(s)"
+            )
+    return failures
+
+
+def render(results: dict) -> str:
+    micro_table = format_table(
+        [
+            "mode",
+            "runtime [s]",
+            "resolve mean [ms]",
+            "cut",
+            "cache h/m",
+            "conn h/opens",
+            "report bytes",
+        ],
+        [
+            [
+                row.label,
+                f"{row.runtime:.4f}",
+                f"{row.extra['mean_resolve_latency'] * 1e3:.3f}",
+                (
+                    f"{results['micro'][0].extra['mean_resolve_latency'] / row.extra['mean_resolve_latency']:.2f}x"
+                    if row.extra["mean_resolve_latency"]
+                    else "-"
+                ),
+                (
+                    f"{row.extra['resolve_cache'].get('hits', '-')}"
+                    f"/{row.extra['resolve_cache'].get('misses', '-')}"
+                ),
+                (
+                    f"{row.extra['connection_cache'].get('hits', '-')}"
+                    f"/{row.extra['connection_cache'].get('opens', '-')}"
+                ),
+                row.extra["report_bytes_sent"],
+            ]
+            for row in results["micro"]
+        ],
+        title="Resolve fast path: micro ablation (remote client, 5 replicas)",
+    )
+    fig3_rows = []
+    opt = {
+        (p.strategy, p.background_hosts): p
+        for p in results["fig3_optimized"]
+    }
+    for point in results["fig3"]:
+        optimized = opt[(point.strategy, point.background_hosts)]
+        fig3_rows.append(
+            [
+                point.strategy,
+                point.background_hosts,
+                f"{point.runtime:.4f}",
+                f"{optimized.runtime:.4f}",
+                " ".join(point.placements),
+            ]
+        )
+    fig3_table = format_table(
+        ["strategy", "bg hosts", "paper [s]", "optimized [s]", "placements"],
+        fig3_rows,
+        title="Fig. 3 (30-dim/3 workers): paper-faithful vs. all optimizations",
+    )
+    rec_rows = []
+    opt_rec = {row.label: row for row in results["recovery_optimized"]}
+    for row in results["recovery"]:
+        optimized = opt_rec[row.label]
+        rec_rows.append(
+            [
+                row.label,
+                f"{row.runtime:.4f}",
+                f"{row.extra['recovery_time']:.4f}",
+                f"{optimized.runtime:.4f}",
+                f"{optimized.extra['recovery_time']:.4f}",
+                "yes" if optimized.extra["state_correct"] else "NO",
+            ]
+        )
+    recovery_table = format_table(
+        [
+            "cell",
+            "paper [s]",
+            "recovery [s]",
+            "optimized [s]",
+            "opt recovery [s]",
+            "state ok",
+        ],
+        rec_rows,
+        title="Recovery bench: paper-faithful vs. all optimizations",
+    )
+    return micro_table + "\n\n" + fig3_table + "\n\n" + recovery_table
+
+
+def payload(results: dict) -> dict:
+    return {
+        "quick": results["quick"],
+        "micro": [
+            {"mode": row.label, "runtime": row.runtime, **row.extra}
+            for row in results["micro"]
+        ],
+        "fig3": [
+            {
+                "strategy": p.strategy,
+                "background_hosts": p.background_hosts,
+                "runtime": p.runtime,
+                "fun": p.fun,
+                "placements": list(p.placements),
+            }
+            for p in results["fig3"]
+        ],
+        "fig3_optimized": [
+            {
+                "strategy": p.strategy,
+                "background_hosts": p.background_hosts,
+                "runtime": p.runtime,
+                "fun": p.fun,
+                "placements": list(p.placements),
+            }
+            for p in results["fig3_optimized"]
+        ],
+        "recovery": [
+            {"label": row.label, "runtime": row.runtime, **row.extra}
+            for row in results["recovery"]
+        ],
+        "recovery_optimized": [
+            {"label": row.label, "runtime": row.runtime, **row.extra}
+            for row in results["recovery_optimized"]
+        ],
+    }
+
+
+def metric_series(results: dict) -> dict:
+    micro_latency = [
+        ({"mode": row.label}, row.extra["mean_resolve_latency"])
+        for row in results["micro"]
+    ]
+    micro_runtime = [
+        ({"mode": row.label}, row.runtime) for row in results["micro"]
+    ]
+    cache_samples = []
+    for row in results["micro"]:
+        cache = row.extra["resolve_cache"]
+        if not cache.get("enabled"):
+            continue
+        for counter in ("hits", "misses", "stale_served"):
+            cache_samples.append(
+                ({"mode": row.label, "counter": counter}, cache[counter])
+            )
+    conn_samples = []
+    for row in results["micro"]:
+        conns = row.extra["connection_cache"]
+        if not conns.get("enabled"):
+            continue
+        for counter in ("hits", "misses", "opens", "handshake_joins"):
+            conn_samples.append(
+                ({"mode": row.label, "counter": counter}, conns[counter])
+            )
+    fig3_samples = []
+    for variant, points in (
+        ("paper", results["fig3"]),
+        ("optimized", results["fig3_optimized"]),
+    ):
+        for p in points:
+            fig3_samples.append(
+                (
+                    {
+                        "strategy": p.strategy,
+                        "background_hosts": p.background_hosts,
+                        "variant": variant,
+                    },
+                    p.runtime,
+                )
+            )
+    recovery_samples = []
+    for variant, rows in (
+        ("paper", results["recovery"]),
+        ("optimized", results["recovery_optimized"]),
+    ):
+        for row in rows:
+            recovery_samples.append(
+                ({"cell": row.label, "variant": variant}, row.runtime)
+            )
+    return {
+        "bench_resolve_mean_latency_seconds": micro_latency,
+        "bench_resolve_micro_runtime_seconds": micro_runtime,
+        "bench_resolve_cache_counter": cache_samples,
+        "bench_connection_cache_counter": conn_samples,
+        "bench_resolve_fig3_runtime_seconds": fig3_samples,
+        "bench_resolve_recovery_runtime_seconds": recovery_samples,
+    }
+
+
+def export_artifacts(results: dict) -> None:
+    """Write the same artifact set the pytest fixtures would."""
+    from repro.bench.reporting import write_json
+    from repro.obs import MetricsRegistry
+    from repro.obs.exporters import prometheus_text
+
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    text = render(results)
+    (RESULTS_DIR / "resolve_fastpath.txt").write_text(text + "\n")
+    write_json(RESULTS_DIR / "resolve_fastpath.json", payload(results))
+    registry = MetricsRegistry()
+    for metric_name, samples in metric_series(results).items():
+        for labels, value in samples:
+            registry.gauge(metric_name, **labels).set(float(value))
+    write_json(RESULTS_DIR / "BENCH_resolve_fastpath.json", registry.snapshot())
+    (RESULTS_DIR / "BENCH_resolve_fastpath.prom").write_text(
+        prometheus_text(registry)
+    )
+
+
+def test_resolve_fastpath(benchmark, save_result, export_bench_metrics):
+    results = benchmark.pedantic(
+        run_bench, kwargs={"quick": True}, rounds=1, iterations=1
+    )
+    failures = check_results(results)
+    assert not failures, "\n".join(failures)
+    save_result("resolve_fastpath", render(results), payload(results))
+    export_bench_metrics("resolve_fastpath", metric_series(results))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Resolve fast-path ablation (CI bench-smoke gate)."
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI shape: smaller micro sweep (goldens are always checked)",
+    )
+    args = parser.parse_args(argv)
+    results = run_bench(quick=args.quick)
+    print(render(results))
+    export_artifacts(results)
+    print(f"\nwrote {RESULTS_DIR / 'BENCH_resolve_fastpath.json'}")
+    failures = check_results(results)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("resolve fast path: all acceptance checks passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

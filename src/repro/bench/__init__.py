@@ -14,13 +14,16 @@ from repro.bench.harness import (
     table1_sweep,
 )
 from repro.bench.reporting import format_table, write_json
+from repro.bench.resolvebench import RESOLVE_MODES, resolve_fastpath_sweep
 
 __all__ = [
     "Fig3Point",
+    "RESOLVE_MODES",
     "Table1Row",
     "fig3_curves",
     "fig3_sweep",
     "format_table",
+    "resolve_fastpath_sweep",
     "table1_sweep",
     "write_json",
 ]

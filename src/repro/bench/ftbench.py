@@ -396,14 +396,17 @@ def recovery_bench(
     failure_counts: Sequence[int] = (0, 1, 2),
     calls: int = 40,
     call_work: float = 0.05,
+    **runtime_kwargs,
 ) -> list[AblationRow]:
     """Failure injection: runtime, recovery count and state correctness.
 
     The correct final total is ``calls`` regardless of crashes — checkpoint
-    restore plus call retry must never lose or duplicate an update."""
+    restore plus call retry must never lose or duplicate an update.
+    ``runtime_kwargs`` forward to :class:`RuntimeConfig` (e.g. the resolve
+    fast-path knobs for an optimized-mode recovery column)."""
     rows = []
     for failures in failure_counts:
-        runtime = _runtime(num_hosts=7)
+        runtime = _runtime(num_hosts=7, **runtime_kwargs)
         ior = runtime.orb(1).poa.activate(AccumulatorImpl())
         proxy = runtime.ft_proxy(
             ns.BenchAccumulatorStub, ior, key="acc", type_name="BenchAccumulator"

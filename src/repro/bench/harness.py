@@ -81,6 +81,7 @@ def _scenario(
     seed: int,
     settings: WorkerSettings,
     manager_iterations: int,
+    overrides: Optional[Mapping] = None,
 ) -> Scenario:
     dimension, workers, pool = PAPER_CONFIGS[config]
     return Scenario(
@@ -94,6 +95,7 @@ def _scenario(
         manager_iterations=manager_iterations,
         worker_settings=settings,
         seed=seed,
+        **(dict(overrides) if overrides else {}),
     )
 
 
@@ -104,8 +106,13 @@ def fig3_sweep(
     manager_iterations: int = 10,
     seed: int = 7,
     settings: Optional[WorkerSettings] = None,
+    scenario_overrides: Optional[Mapping] = None,
 ) -> list[Fig3Point]:
-    """Run the Fig. 3 grid; returns one point per (config, strategy, bg)."""
+    """Run the Fig. 3 grid; returns one point per (config, strategy, bg).
+
+    ``scenario_overrides`` sets extra :class:`Scenario` fields on every
+    cell — e.g. the resolve fast-path knobs for an optimized-mode sweep.
+    """
     settings = settings or BENCH_SETTINGS
     points: list[Fig3Point] = []
     for config in configs:
@@ -120,6 +127,7 @@ def fig3_sweep(
                     seed=seed,
                     settings=settings,
                     manager_iterations=manager_iterations,
+                    overrides=scenario_overrides,
                 ).run()
                 points.append(
                     Fig3Point(

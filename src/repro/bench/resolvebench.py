@@ -1,0 +1,147 @@
+"""Driver for the resolve fast-path ablation (DESIGN.md: abl-resolve).
+
+The workload is the §2 resolve path distilled: a client on a host *remote*
+from the naming service repeatedly resolves a replica group and invokes the
+selected replica.  Every ablation cell charges the same non-zero cost
+model — per-candidate scoring work on the naming host and a two-round-trip
+connection handshake — so the three optimizations' savings are visible in
+simulated time:
+
+* ``cache`` — the naming servant memoizes selections in a
+  :class:`~repro.services.naming.strategies.ResolveCache` (load-epoch +
+  TTL + breaker + churn invalidation) instead of re-scoring per resolve;
+* ``deltas`` — node managers ship field-masked delta load reports with a
+  deadband instead of a full report per tick (fewer bytes, and fewer
+  epoch bumps, which compounds with the cache);
+* ``conn-reuse`` — the client ORB caches established connections per
+  endpoint instead of re-paying the handshake per request.
+
+``baseline`` pays everything; ``all`` turns the three on together.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bench.ftbench import AccumulatorImpl, AblationRow, ns
+from repro.core import Runtime, RuntimeConfig
+from repro.orb.core import OrbConfig
+from repro.services.naming.names import to_name
+
+RESOLVE_GROUP = "resolve-bench.service"
+
+#: RuntimeConfig/OrbConfig flag sets of the ablation cells.
+RESOLVE_MODES = {
+    "baseline": {},
+    "cache": {"resolve_cache": True},
+    "deltas": {"winner_delta_reports": True},
+    "conn-reuse": {"connection_reuse": True},
+    "all": {
+        "resolve_cache": True,
+        "winner_delta_reports": True,
+        "connection_reuse": True,
+    },
+}
+
+
+def resolve_fastpath_sweep(
+    modes: Sequence[str] = tuple(RESOLVE_MODES),
+    resolves: int = 40,
+    calls_per_resolve: int = 3,
+    call_work: float = 0.004,
+    scoring_work: float = 3e-4,
+    handshake_rtts: int = 2,
+    num_hosts: int = 8,
+    replica_hosts: int = 5,
+    seed: int = 17,
+) -> list[AblationRow]:
+    """Run the ablation; one row per mode.
+
+    Each row's ``runtime`` is the client's wall time over the whole
+    resolve+invoke stream; ``extra`` carries the mean per-``resolve``
+    latency (the gated metric) and the fast-path counters.
+    """
+    rows: list[AblationRow] = []
+    for mode in modes:
+        flags = RESOLVE_MODES[mode]
+        runtime = Runtime(
+            RuntimeConfig(
+                num_hosts=num_hosts,
+                seed=seed,
+                winner_interval=0.5,
+                resolve_cache=flags.get("resolve_cache", False),
+                resolve_scoring_work=scoring_work,
+                winner_delta_reports=flags.get("winner_delta_reports", False),
+                orb=OrbConfig(
+                    connection_handshake_rtts=handshake_rtts,
+                    connection_reuse=flags.get("connection_reuse", False),
+                ),
+            )
+        ).start()
+        sim = runtime.sim
+        runtime.register_type("BenchAccumulator", AccumulatorImpl)
+        pool = list(range(1, replica_hosts + 1))
+        runtime.run(
+            runtime.deploy_group(RESOLVE_GROUP, "BenchAccumulator", pool)
+        )
+        runtime.settle(3.0)
+
+        client_host = replica_hosts + 1  # remote from naming and replicas
+        client_orb = runtime.orb(client_host)
+
+        def client():
+            naming = runtime.naming_stub(client_host)
+            start = sim.now
+            for _ in range(resolves):
+                ior = yield naming.resolve(to_name(RESOLVE_GROUP))
+                stub = client_orb.stub(ior, ns.BenchAccumulatorStub)
+                for _ in range(calls_per_resolve):
+                    yield stub.add(1.0, call_work)
+            return sim.now - start
+
+        elapsed = runtime.run(client())
+
+        resolve_stats = client_orb.call_stats.get("resolve")
+        naming_root = runtime.naming_root
+        cache = (
+            naming_root.resolve_cache.snapshot()
+            if naming_root.resolve_cache is not None
+            else {"enabled": False}
+        )
+        connections = (
+            client_orb.connections.snapshot()
+            if client_orb.connections is not None
+            else {"enabled": False}
+        )
+        node_managers = runtime._node_managers.values()
+        rows.append(
+            AblationRow(
+                label=mode,
+                runtime=elapsed,
+                extra={
+                    "mode": mode,
+                    "resolves": resolves,
+                    "mean_resolve_latency": (
+                        resolve_stats.mean_latency if resolve_stats else 0.0
+                    ),
+                    "max_resolve_latency": (
+                        resolve_stats.max_latency if resolve_stats else 0.0
+                    ),
+                    "resolve_cache": cache,
+                    "connection_cache": connections,
+                    "handshakes_sent": client_orb.handshakes_sent,
+                    "delta_reports_sent": sum(
+                        nm.delta_reports_sent for nm in node_managers
+                    ),
+                    "full_reports_sent": sum(
+                        nm.full_reports_sent for nm in node_managers
+                    ),
+                    "report_bytes_sent": sum(
+                        nm.report_bytes_sent for nm in node_managers
+                    ),
+                    "network_bytes": runtime.network.bytes_sent,
+                    "stale_served": cache.get("stale_served", 0),
+                },
+            )
+        )
+    return rows

@@ -57,6 +57,12 @@ def main(argv=None) -> int:
         action="store_true",
         help="ship delta checkpoints instead of full states",
     )
+    parser.add_argument(
+        "--resolve-cache",
+        action="store_true",
+        help="enable the naming resolve cache (checks the no-stale-resolve "
+        "invariant under chaos)",
+    )
     args = parser.parse_args(argv)
 
     scenarios = tuple(s for s in args.scenarios.split(",") if s.strip())
@@ -66,6 +72,7 @@ def main(argv=None) -> int:
     config.scenarios = scenarios
     config.checkpoint_mode = args.checkpoint_mode
     config.checkpoint_deltas = args.deltas
+    config.resolve_cache = args.resolve_cache
 
     def progress(report):
         status = "ok" if report.ok else "FAIL"

@@ -71,6 +71,9 @@ class CampaignConfig:
     #: "pipelined" (and deltas) must satisfy the same invariants.
     checkpoint_mode: str = "sync"
     checkpoint_deltas: bool = False
+    #: resolve fast path under chaos: the cache must never serve a
+    #: selection on a dead host (the no-stale-resolve invariant).
+    resolve_cache: bool = False
 
     @classmethod
     def fast(cls, seeds: Sequence[int] = (11, 12, 13)) -> "CampaignConfig":
@@ -151,6 +154,11 @@ class ScenarioReport:
     delta_fallbacks: int = 0
     pipeline_stalls: int = 0
     checkpoint_pipeline_depth_end: int = 0
+    # resolve fast path
+    resolve_cache_enabled: bool = False
+    resolve_cache_hits: int = 0
+    resolve_cache_misses: int = 0
+    resolve_stale_served: int = 0
     # plumbing
     drop_listener_errors: int = 0
     chaos_events: list = field(default_factory=list)
@@ -186,6 +194,7 @@ def run_scenario(
             checkpoint_processing_work=0.002,
             breakers=True,
             recovery_policy=policy,
+            resolve_cache=config.resolve_cache,
             orb=OrbConfig(request_timeout=config.request_timeout),
         )
     ).start()
@@ -379,6 +388,12 @@ def run_scenario(
     report.checkpoint_pipeline_depth_end = sum(
         c.pipeline_depth for c in contexts
     )
+    naming = runtime.naming_root
+    if naming is not None and naming.resolve_cache is not None:
+        report.resolve_cache_enabled = True
+        report.resolve_cache_hits = naming.resolve_cache.stats.hits
+        report.resolve_cache_misses = naming.resolve_cache.stats.misses
+        report.resolve_stale_served = naming.resolve_cache.stats.stale_served
     report.drop_listener_errors = runtime.network.drop_listener_errors
     report.chaos_events = list(runtime.failures.chaos_events) + [
         {"kind": "crash-restart", "host": p.host, "at": p.crash_at,
@@ -462,6 +477,12 @@ def export_campaign_metrics(result: CampaignResult, registry) -> None:
         )
         registry.gauge("chaos_pipeline_stalls", **labels).set(
             r.pipeline_stalls
+        )
+        registry.gauge("chaos_resolve_cache_hits", **labels).set(
+            r.resolve_cache_hits
+        )
+        registry.gauge("chaos_resolve_stale_served", **labels).set(
+            r.resolve_stale_served
         )
 
 

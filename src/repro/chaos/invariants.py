@@ -122,6 +122,13 @@ def check_report(report: "ScenarioReport") -> list[str]:
             "store(s) still in flight at end of run"
         )
 
+    # no stale resolve ---------------------------------------------------------
+    if report.resolve_cache_enabled and report.resolve_stale_served:
+        violations.append(
+            f"resolve cache served {report.resolve_stale_served} "
+            "selection(s) on hosts already known dead"
+        )
+
     # scenario-specific expectations -------------------------------------------
     if report.expects.get("degraded_flush"):
         if not report.checkpoints_buffered:

@@ -94,6 +94,49 @@ def runtime_report(runtime: "Runtime") -> dict:
         "buffer_depth": sum(len(c.buffered_checkpoints) for c in contexts),
     }
 
+    # The resolve fast path: naming-side cache, Winner delta reports and
+    # ORB connection reuse (all zeros/disabled unless the flags are on).
+    naming = runtime.naming_root
+    if naming is not None and naming.resolve_cache is not None:
+        resolve_cache = naming.resolve_cache.snapshot()
+    else:
+        resolve_cache = {"enabled": False}
+    connections: dict = {"enabled": False}
+    for orb in runtime._orbs.values():
+        if orb.connections is None:
+            continue
+        snap = orb.connections.snapshot()
+        if not connections["enabled"]:
+            connections = snap
+        else:
+            for key, value in snap.items():
+                if key not in ("enabled", "capacity"):
+                    connections[key] += value
+    winner_reports = {
+        "full_reports_sent": sum(
+            nm.full_reports_sent for nm in runtime._node_managers.values()
+        ),
+        "delta_reports_sent": sum(
+            nm.delta_reports_sent for nm in runtime._node_managers.values()
+        ),
+        "reports_coalesced": sum(
+            nm.reports_coalesced for nm in runtime._node_managers.values()
+        ),
+        "report_bytes_sent": sum(
+            nm.report_bytes_sent for nm in runtime._node_managers.values()
+        ),
+        "delta_reports_received": (
+            runtime.system_manager.delta_reports_received
+            if runtime.system_manager
+            else 0
+        ),
+        "delta_reports_ignored": (
+            runtime.system_manager.delta_reports_ignored
+            if runtime.system_manager
+            else 0
+        ),
+    }
+
     return {
         "simulated_time": sim.now,
         "hosts": hosts,
@@ -106,6 +149,9 @@ def runtime_report(runtime: "Runtime") -> dict:
         "operations": operations,
         "fault_tolerance": ft,
         "ft_proxies": proxies,
+        "resolve_cache": resolve_cache,
+        "connection_cache": connections,
+        "winner_reports": winner_reports,
         "cdr_plan_cache": cdr.plan_cache_stats(),
         "observability": sim.obs.report(),
     }
@@ -188,6 +234,38 @@ def format_runtime_report(report: dict) -> str:
                 f"({proxies['pipeline_stalls']} stalls)"
             )
         sections.append(line)
+    cache = report.get("resolve_cache")
+    if cache and cache.get("enabled"):
+        sections.append(
+            f"Resolve cache: {cache['hits']} hits / {cache['misses']} misses "
+            f"(epoch {cache['epoch_invalidations']}, "
+            f"ttl {cache['ttl_invalidations']}, "
+            f"breaker {cache['breaker_invalidations']}, "
+            f"churn {cache['churn_invalidations']}; "
+            f"stale served {cache['stale_served']})"
+        )
+    conns = report.get("connection_cache")
+    if conns and conns.get("enabled"):
+        sections.append(
+            f"Connection cache: {conns['hits']} hits / {conns['misses']} "
+            f"misses, {conns['opens']} opened, "
+            f"{conns['handshake_joins']} handshakes joined, "
+            f"{conns['evictions']} evicted, "
+            f"{conns['invalidations']} invalidated, "
+            f"{conns['failures']} failed"
+        )
+    reports = report.get("winner_reports")
+    if reports and (
+        reports["delta_reports_sent"] or reports["reports_coalesced"]
+    ):
+        sections.append(
+            f"Winner reports: {reports['full_reports_sent']} full / "
+            f"{reports['delta_reports_sent']} delta sent "
+            f"({reports['report_bytes_sent']} bytes, "
+            f"{reports['reports_coalesced']} coalesced); collector got "
+            f"{reports['delta_reports_received']} deltas, ignored "
+            f"{reports['delta_reports_ignored']}"
+        )
     plans = report.get("cdr_plan_cache")
     if plans and (plans["encoder_plan_hits"] or plans["decoder_plan_hits"]):
         sections.append(

@@ -119,7 +119,11 @@ class Runtime:
             self.winner_servant
         )
 
-        self.naming_root = LoadDistributingContextServant(self._make_strategy())
+        self.naming_root = LoadDistributingContextServant(
+            self._make_strategy(),
+            resolve_cache=self._make_resolve_cache(),
+            resolve_scoring_work=config.resolve_scoring_work,
+        )
         self.naming_ior = self.orb(service_host.name).poa.activate(self.naming_root)
 
         backend = (
@@ -161,6 +165,26 @@ class Runtime:
             strategy = BreakerAwareStrategy(strategy, self.breakers)
         return strategy
 
+    def _make_resolve_cache(self):
+        if not self.config.resolve_cache:
+            return None
+        from repro.services.naming import ResolveCache
+
+        # Only the winner strategy has a local manager to rank against;
+        # load-oblivious strategies still cache, just without ranking.
+        manager = (
+            self.system_manager
+            if self.config.naming_strategy == "winner"
+            else None
+        )
+        return ResolveCache(
+            self.sim,
+            manager=manager,
+            breakers=self.breakers if self.config.breakers else None,
+            ttl=self.config.resolve_cache_ttl,
+            top_k=self.config.resolve_cache_top_k,
+        )
+
     def _start_node_manager(self, host) -> None:
         manager_host = self.cluster.host(self.config.service_host).name
         nm = NodeManager(
@@ -168,6 +192,9 @@ class Runtime:
             self.network,
             manager_host=manager_host,
             interval=self.config.winner_interval,
+            delta_reports=self.config.winner_delta_reports,
+            deadband=self.config.winner_report_deadband,
+            full_interval=self.config.winner_report_full_interval,
         )
         self._node_managers[host.name] = nm.start()
 

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.core.config import RuntimeConfig
+from repro.orb.core import OrbConfig
 from repro.core.runtime import Runtime
 from repro.errors import ConfigurationError
 from repro.cluster import FailurePlan
@@ -78,6 +79,13 @@ class Scenario:
     use_dii: bool = True
     failures: Sequence[FailurePlan] = ()
     winner_interval: float = 1.0
+    #: resolve fast-path knobs (all off = paper behaviour).
+    resolve_cache: bool = False
+    resolve_cache_ttl: float = 1.0
+    resolve_scoring_work: float = 0.0
+    winner_delta_reports: bool = False
+    connection_reuse: bool = False
+    connection_handshake_rtts: int = 0
 
     def validate(self) -> None:
         if self.pool_size >= self.num_hosts:
@@ -101,6 +109,14 @@ class Scenario:
                 checkpoint_processing_work=self.checkpoint_processing_work,
                 checkpoint_backend=self.checkpoint_backend,
                 winner_interval=self.winner_interval,
+                resolve_cache=self.resolve_cache,
+                resolve_cache_ttl=self.resolve_cache_ttl,
+                resolve_scoring_work=self.resolve_scoring_work,
+                winner_delta_reports=self.winner_delta_reports,
+                orb=OrbConfig(
+                    connection_reuse=self.connection_reuse,
+                    connection_handshake_rtts=self.connection_handshake_rtts,
+                ),
             )
         ).start()
         problem = DecomposedRosenbrock(self.dimension, self.num_workers)

@@ -50,7 +50,7 @@ from repro.orb.cdr import CdrInputStream, CdrOutputStream
 from repro.orb.forwarding import LocationForward as _LocationForward
 from repro.orb.ior import IOR
 from repro.orb.stubs import ObjectStub, OpInfo, USER_EXCEPTION_REGISTRY
-from repro.orb.transport import install_reset_synthesis
+from repro.orb.transport import ConnectionCache, install_reset_synthesis
 from repro.sim.events import SimFuture
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -73,6 +73,16 @@ class OrbConfig:
     request_timeout: Optional[float] = None
     #: timeout for LocateRequest pings (these must always terminate).
     locate_timeout: float = 0.05
+    #: round trips paid to set up a connection before a request may travel
+    #: (ConnectMessage/Ack exchanges).  0 = connectionless datagrams, the
+    #: baseline model — and the default, so existing runs are unchanged.
+    connection_handshake_rtts: int = 0
+    #: cache established connections per (host, port, incarnation) and
+    #: reuse them across requests instead of paying the handshake each
+    #: time; off = every request pays ``connection_handshake_rtts``.
+    connection_reuse: bool = False
+    #: LRU capacity of the connection cache.
+    connection_cache_size: int = 32
 
 
 class Servant:
@@ -152,7 +162,7 @@ class _Pending:
     def __init__(self, future: SimFuture, target_host: str, kind: str) -> None:
         self.future = future
         self.target_host = target_host
-        self.kind = kind  # "call" or "locate"
+        self.kind = kind  # "call", "locate" or "connect"
 
 
 class CallStats:
@@ -228,6 +238,14 @@ class Orb:
         #: request id), so CancelRequest can abort them.
         self._inflight_serves: dict[tuple[str, int, int], Any] = {}
         self.requests_cancelled = 0
+        #: client-side connection cache (None unless reuse is enabled).
+        self.connections: Optional[ConnectionCache] = (
+            ConnectionCache(self.sim, capacity=self.config.connection_cache_size)
+            if self.config.connection_reuse
+            else None
+        )
+        #: ConnectMessage/Ack exchanges this ORB initiated.
+        self.handshakes_sent = 0
 
     def add_request_interceptor(self, interceptor) -> None:
         """Register a :class:`repro.orb.interceptors.RequestInterceptor`."""
@@ -257,6 +275,8 @@ class Orb:
             self.network.unbind(self.host.name, self.port)
         self._dispatcher.kill()
         self._fail_local_pending()
+        if self.connections is not None:
+            self.connections.clear()
 
     def _fail_local_pending(self) -> None:
         pending, self._pending = self._pending, {}
@@ -428,6 +448,22 @@ class Orb:
                 )
                 return
 
+            if self.config.connection_handshake_rtts > 0:
+                try:
+                    yield from self._ensure_connection(target)
+                except SystemException as exc:
+                    self._intercept_outcome(info.name, request_id, exc)
+                    if using_cached:
+                        # Could not even connect to the forwarded target:
+                        # drop the cache and retry at the original IOR.
+                        if reference is not None:
+                            reference._forward_target = None
+                        using_cached = False
+                        target = ior
+                        continue
+                    outer.try_fail(exc)
+                    return
+
             if info.oneway:
                 self.network.send(
                     self.host, self.port, target.host, target.port, raw, len(raw)
@@ -572,6 +608,84 @@ class Orb:
         else:
             fail(giop.decode_system_exception(reply.body))
 
+    # -- connection setup --------------------------------------------------------
+
+    def _ensure_connection(self, target: IOR):
+        """Have a usable connection to ``target`` before the request travels.
+
+        With reuse off every request pays the full handshake.  With reuse
+        on, an established cached connection is free (no yields at all on
+        this path), and a handshake already in flight to the same endpoint
+        is *joined* — the request pipelines behind the opener instead of
+        opening a second connection.  Raises ``COMM_FAILURE``
+        (COMPLETED_NO) if the connection cannot be set up.
+        """
+        cache = self.connections
+        if cache is None:
+            yield from self._handshake(target)
+            return
+        key = (target.host, target.port, target.incarnation)
+        entry = cache.lookup(key)
+        if entry is not None:
+            if entry.established.is_pending:
+                cache.bump("handshake_joins")
+                outcome = yield entry.established
+                if isinstance(outcome, SystemException):
+                    raise outcome
+                return
+            if not isinstance(entry.established.value, SystemException):
+                cache.bump("hits")
+                return
+            # A failed entry the opener has not discarded yet: re-open.
+            cache.discard(key, entry)
+        cache.bump("misses")
+        entry = cache.begin(
+            key,
+            target.host,
+            self.sim.future(label=f"conn:{target.host}:{target.port}"),
+        )
+        try:
+            yield from self._handshake(target)
+        except SystemException as exc:
+            cache.discard(key, entry)
+            cache.bump("failures")
+            # Resolve with the exception as a *value* so joiners (and the
+            # kernel) see a clean resolution; they re-raise it themselves.
+            entry.established.try_succeed(exc)
+            raise
+        cache.bump("opens")
+        entry.established.try_succeed(None)
+
+    def _handshake(self, target: IOR):
+        """Pay the connection-setup cost: one ConnectMessage/Ack exchange
+        per configured round trip, each bounded by ``locate_timeout``."""
+        for _ in range(self.config.connection_handshake_rtts):
+            request_id = next(self._request_ids)
+            raw = giop.encode_message(
+                giop.ConnectMessage(request_id, self.host.name, self.port)
+            )
+            inner = self.sim.future(label=f"connect:{request_id}")
+            self._pending[request_id] = _Pending(inner, target.host, "connect")
+            self._watch_host(target.host)
+            self.handshakes_sent += 1
+            self.network.send(
+                self.host, self.port, target.host, target.port, raw, len(raw)
+            )
+            winner = yield self.sim.any_of(
+                [inner, self.sim.timeout(self.config.locate_timeout)]
+            )
+            if winner[0] == 1:
+                self._pending.pop(request_id, None)
+                raise COMM_FAILURE(
+                    f"connection setup to {target.host}:{target.port} "
+                    "timed out",
+                    completed=CompletionStatus.COMPLETED_NO,
+                )
+            # Reset/crash resolves the connect future with the exception
+            # as a value (see _dispatch_loop) so the failure is prompt.
+            if isinstance(winner[1], SystemException):
+                raise winner[1]
+
     def _locate_proc(self, ior: IOR, outer: SimFuture):
         request_id = next(self._request_ids)
         message = giop.LocateRequestMessage(
@@ -614,12 +728,21 @@ class Orb:
         target.on_crash(on_crash)
 
     def _fail_pending_to(self, host_name: str) -> None:
+        if self.connections is not None:
+            self.connections.invalidate_host(host_name)
         for request_id in [
             rid for rid, p in self._pending.items() if p.target_host == host_name
         ]:
             entry = self._pending.pop(request_id)
             if entry.kind == "locate":
                 entry.future.try_succeed(giop.LocateStatus.UNKNOWN_OBJECT)
+            elif entry.kind == "connect":
+                entry.future.try_succeed(
+                    COMM_FAILURE(
+                        f"host {host_name} crashed during connection setup",
+                        completed=CompletionStatus.COMPLETED_NO,
+                    )
+                )
             else:
                 entry.future.try_fail(
                     COMM_FAILURE(
@@ -665,8 +788,19 @@ class Orb:
             elif isinstance(message, giop.ResetMessage):
                 entry = self._pending.pop(message.request_id, None)
                 if entry is not None:
+                    if self.connections is not None:
+                        # A reset proves the endpoint is gone: any cached
+                        # connection to that host is dead too.
+                        self.connections.invalidate_host(entry.target_host)
                     if entry.kind == "locate":
                         entry.future.try_succeed(giop.LocateStatus.UNKNOWN_OBJECT)
+                    elif entry.kind == "connect":
+                        entry.future.try_succeed(
+                            COMM_FAILURE(
+                                f"connection refused: {message.reason}",
+                                completed=CompletionStatus.COMPLETED_NO,
+                            )
+                        )
                     else:
                         entry.future.try_fail(
                             COMM_FAILURE(
@@ -674,6 +808,25 @@ class Orb:
                                 completed=CompletionStatus.COMPLETED_NO,
                             )
                         )
+            elif isinstance(message, giop.ConnectMessage):
+                # Accepting a connection is pure wire protocol: ack it
+                # straight from the dispatch loop (no CPU charged), like
+                # a kernel-level SYN/ACK.
+                ack = giop.encode_message(
+                    giop.ConnectAckMessage(message.request_id)
+                )
+                self.network.send(
+                    self.host,
+                    self.port,
+                    message.reply_host,
+                    message.reply_port,
+                    ack,
+                    len(ack),
+                )
+            elif isinstance(message, giop.ConnectAckMessage):
+                entry = self._pending.pop(message.request_id, None)
+                if entry is not None:
+                    entry.future.try_succeed(None)
             elif isinstance(message, giop.LocateRequestMessage):
                 self._serve_locate(message)
             elif isinstance(message, giop.LocateReplyMessage):

@@ -32,6 +32,8 @@ class MsgType(enum.IntEnum):
     LOCATE_REQUEST = 3
     LOCATE_REPLY = 4
     RESET = 7  # synthesized on behalf of dead endpoints (TCP RST analogue)
+    CONNECT = 8  # connection-setup handshake (TCP SYN analogue)
+    CONNECT_ACK = 9
 
 
 class ReplyStatus(enum.IntEnum):
@@ -94,6 +96,23 @@ class CancelRequestMessage:
 
 
 @dataclass(frozen=True)
+class ConnectMessage:
+    """One leg of connection setup: the client asks the server endpoint to
+    accept a connection; the server answers with :class:`ConnectAckMessage`.
+    Each configured handshake round trip is one such exchange, so drops and
+    partitions affect connection *setup* exactly like they affect requests."""
+
+    request_id: int
+    reply_host: str
+    reply_port: int
+
+
+@dataclass(frozen=True)
+class ConnectAckMessage:
+    request_id: int
+
+
+@dataclass(frozen=True)
 class ResetMessage:
     """Connection-reset notice: the request with ``request_id`` can never be
     answered because its destination endpoint is gone."""
@@ -108,6 +127,8 @@ GiopMessage = Union[
     CancelRequestMessage,
     LocateRequestMessage,
     LocateReplyMessage,
+    ConnectMessage,
+    ConnectAckMessage,
     ResetMessage,
 ]
 
@@ -150,6 +171,14 @@ def encode_message(message: GiopMessage) -> bytes:
         stream.write_octet(MsgType.LOCATE_REPLY)
         stream.write_ulong(message.request_id)
         stream.write_octet(int(message.status))
+    elif isinstance(message, ConnectMessage):
+        stream.write_octet(MsgType.CONNECT)
+        stream.write_ulong(message.request_id)
+        stream.write_string(message.reply_host)
+        stream.write_ulong(message.reply_port)
+    elif isinstance(message, ConnectAckMessage):
+        stream.write_octet(MsgType.CONNECT_ACK)
+        stream.write_ulong(message.request_id)
     elif isinstance(message, ResetMessage):
         stream.write_octet(MsgType.RESET)
         stream.write_ulong(message.request_id)
@@ -214,6 +243,14 @@ def decode_message(data: bytes) -> GiopMessage:
             request_id=stream.read_ulong(),
             status=LocateStatus(stream.read_octet()),
         )
+    if msg_type is MsgType.CONNECT:
+        return ConnectMessage(
+            request_id=stream.read_ulong(),
+            reply_host=stream.read_string(),
+            reply_port=stream.read_ulong(),
+        )
+    if msg_type is MsgType.CONNECT_ACK:
+        return ConnectAckMessage(request_id=stream.read_ulong())
     assert msg_type is MsgType.RESET
     return ResetMessage(
         request_id=stream.read_ulong(),

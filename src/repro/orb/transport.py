@@ -11,12 +11,15 @@ the failure signal the paper's fault-tolerance proxies rely on.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from collections import OrderedDict
+from typing import Optional, TYPE_CHECKING
 
 from repro.orb import giop
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.network import Datagram, Network
+    from repro.sim import Simulator
+    from repro.sim.events import SimFuture
 
 
 def install_reset_synthesis(network: "Network") -> None:
@@ -35,7 +38,9 @@ def _on_drop(network: "Network", datagram: "Datagram") -> None:
         message = giop.decode_message(bytes(payload))
     except Exception:
         return  # not a GIOP datagram; nothing to synthesize
-    if isinstance(message, giop.RequestMessage) and message.response_expected:
+    if (
+        isinstance(message, giop.RequestMessage) and message.response_expected
+    ) or isinstance(message, giop.ConnectMessage):
         reset = giop.ResetMessage(
             message.request_id,
             f"peer {datagram.dst_host}:{datagram.dst_port} unreachable",
@@ -62,3 +67,109 @@ def _on_drop(network: "Network", datagram: "Datagram") -> None:
             raw,
             len(raw),
         )
+
+
+# -- client-side connection reuse ---------------------------------------------------
+
+
+class _Connection:
+    """One cached connection: ``established`` resolves with None once the
+    handshake completed, or with a SystemException *value* if it failed
+    (value, not failure, so joiners awaiting it wake promptly — see
+    ``Orb._ensure_connection``)."""
+
+    __slots__ = ("key", "target_host", "established")
+
+    def __init__(
+        self, key: tuple, target_host: str, established: "SimFuture"
+    ) -> None:
+        self.key = key
+        self.target_host = target_host
+        self.established = established
+
+
+class ConnectionCache:
+    """LRU cache of established GIOP connections, keyed by
+    ``(server host, port, incarnation)``.
+
+    With connection reuse on, a request to an endpoint whose connection is
+    already established skips the handshake entirely; a request arriving
+    while the handshake is still in flight *joins* it (request pipelining)
+    instead of opening a second connection.  Entries die on LRU pressure
+    and on failure signals — a reset from the endpoint, the host crashing —
+    so the next request re-pays the handshake against live state.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int = 32) -> None:
+        self._sim = sim
+        self.capacity = max(1, capacity)
+        self._entries: "OrderedDict[tuple, _Connection]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.opens = 0
+        self.handshake_joins = 0
+        self.evictions = 0
+        self.invalidations = 0
+        self.failures = 0
+
+    def bump(self, counter: str) -> None:
+        setattr(self, counter, getattr(self, counter) + 1)
+        self._sim.obs.metrics.counter(
+            f"orb_connection_cache_{counter}_total"
+        ).inc()
+
+    def lookup(self, key: tuple) -> Optional[_Connection]:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+        return entry
+
+    def begin(
+        self, key: tuple, target_host: str, established: "SimFuture"
+    ) -> _Connection:
+        """Insert a connection whose handshake just started."""
+        entry = _Connection(key, target_host, established)
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.bump("evictions")
+        return entry
+
+    def discard(self, key: tuple, entry: Optional[_Connection] = None) -> None:
+        """Drop ``key`` — but never a newer entry that replaced ``entry``
+        (an evicted-then-reopened connection must not be killed by the
+        stale opener's failure path)."""
+        current = self._entries.get(key)
+        if current is None or (entry is not None and current is not entry):
+            return
+        del self._entries[key]
+
+    def invalidate_host(self, host_name: str) -> None:
+        """Failure-driven invalidation: every connection to ``host_name``
+        is dropped (reset received or the host crashed)."""
+        for key in [
+            k for k, e in self._entries.items() if e.target_host == host_name
+        ]:
+            del self._entries[key]
+            self.bump("invalidations")
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def snapshot(self) -> dict:
+        return {
+            "enabled": True,
+            "entries": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "opens": self.opens,
+            "handshake_joins": self.handshake_joins,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "failures": self.failures,
+        }

@@ -31,6 +31,8 @@ from repro.services.naming.strategies import (
     BreakerAwareStrategy,
     FirstBoundStrategy,
     RandomStrategy,
+    ResolveCache,
+    ResolveCacheStats,
     RoundRobinStrategy,
     SelectionStrategy,
     WinnerStrategy,
@@ -50,6 +52,8 @@ __all__ = [
     "NameComponent",
     "NamingContextServant",
     "RandomStrategy",
+    "ResolveCache",
+    "ResolveCacheStats",
     "RoundRobinStrategy",
     "SelectionStrategy",
     "WinnerStrategy",

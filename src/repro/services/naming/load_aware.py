@@ -20,20 +20,40 @@ from typing import Optional
 from repro.orb.ior import IOR
 from repro.services.naming import idl
 from repro.services.naming.context import NamingContextServant, _check_name, _key
-from repro.services.naming.strategies import FirstBoundStrategy, SelectionStrategy
+from repro.services.naming.strategies import (
+    FirstBoundStrategy,
+    ResolveCache,
+    SelectionStrategy,
+)
 
 
 class LoadDistributingContextServant(
     NamingContextServant, idl.LoadDistributingNamingContextSkeleton
 ):
-    """Naming context where names can hold replica groups."""
+    """Naming context where names can hold replica groups.
+
+    :param resolve_cache: optional :class:`ResolveCache` — the resolve
+        fast path.  When set, ``resolve`` serves memoized selections
+        (without re-scoring or charging scoring work) until the cache
+        invalidates; None keeps the paper's always-fresh behaviour.
+    :param resolve_scoring_work: CPU work charged per candidate scored on
+        a cache miss (0 = scoring is free, the paper's idealization; the
+        benches set it so the cache's saving is visible in simulated time).
+    """
 
     __repo_id__ = idl.LoadDistributingNamingContextSkeleton.__repo_id__
     __operations__ = idl.LoadDistributingNamingContextSkeleton.__operations__
 
-    def __init__(self, strategy: Optional[SelectionStrategy] = None) -> None:
+    def __init__(
+        self,
+        strategy: Optional[SelectionStrategy] = None,
+        resolve_cache: Optional[ResolveCache] = None,
+        resolve_scoring_work: float = 0.0,
+    ) -> None:
         super().__init__()
         self.strategy = strategy or FirstBoundStrategy()
+        self.resolve_cache = resolve_cache
+        self.resolve_scoring_work = resolve_scoring_work
         #: (id, kind) -> ordered replica IORs.
         self._groups: dict[tuple[str, str], list[IOR]] = {}
         self.resolutions = 0
@@ -55,6 +75,7 @@ class LoadDistributingContextServant(
         if any(existing == obj for existing in group):
             raise idl.AlreadyBound(why="replica already registered")
         group.append(obj)
+        self._invalidate_cache(name[0])
 
     def unbind_service(self, n, obj):
         name = _check_name(n)
@@ -65,6 +86,13 @@ class LoadDistributingContextServant(
         group.remove(obj)
         if not group:
             del self._groups[key]
+        self._invalidate_cache(name[0])
+
+    def _invalidate_cache(self, component) -> None:
+        """Replica churn drops the group's memoized selection eagerly
+        (the cache's candidate-signature check is the backstop)."""
+        if self.resolve_cache is not None:
+            self.resolve_cache.invalidate(f"{component.id}.{component.kind}")
 
     def replica_count(self, n):
         name = _check_name(n)
@@ -78,6 +106,9 @@ class LoadDistributingContextServant(
         group = self._groups.get(_key(name[0]))
         if group is None:
             raise idl.NotFound(why="no such group", rest_of_name=list(name))
+        # Defensive copy: this is the servant's internal binding list, and
+        # co-located callers get the return value by reference — handing
+        # it out uncopied would let them mutate naming state.
         return list(group)
 
     # -- overridden standard operations ----------------------------------------------
@@ -93,9 +124,22 @@ class LoadDistributingContextServant(
                     self._poa.orb.sim.obs.metrics.counter(
                         "naming_resolutions_total", group=group_label
                     ).inc()
-                outcome = self.strategy.choose(group_label, list(group))
+                candidates = list(group)
+                if self.resolve_cache is not None:
+                    cached = self.resolve_cache.lookup(group_label, candidates)
+                    if cached is not None:
+                        return cached
+                if self.resolve_scoring_work > 0.0 and self._poa is not None:
+                    # Scoring walks every replica's host record; a cache
+                    # hit above skips this entirely.
+                    yield self._host().execute(
+                        self.resolve_scoring_work * len(candidates)
+                    )
+                outcome = self.strategy.choose(group_label, candidates)
                 if inspect.isgenerator(outcome):
                     outcome = yield from outcome
+                if self.resolve_cache is not None and isinstance(outcome, IOR):
+                    self.resolve_cache.store(group_label, candidates, outcome)
                 return outcome
         result = yield from super().resolve(n)
         return result

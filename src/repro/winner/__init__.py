@@ -22,7 +22,7 @@ This package reproduces exactly that pipeline on the simulated NOW:
 """
 
 from repro.winner.metrics import Ewma, LoadSample
-from repro.winner.protocol import LoadReport
+from repro.winner.protocol import LoadReport, LoadReportDelta, decode_report
 from repro.winner.node_manager import NodeManager
 from repro.winner.system_manager import HostRecord, SystemManager
 from repro.winner.ranking import (
@@ -41,7 +41,9 @@ __all__ = [
     "HostRecord",
     "JobState",
     "LoadReport",
+    "LoadReportDelta",
     "LoadSample",
+    "decode_report",
     "MetaManager",
     "MetaStrategy",
     "NodeManager",

@@ -13,7 +13,11 @@ from typing import Optional, TYPE_CHECKING
 
 from repro.errors import ProcessKilled
 from repro.winner.metrics import LoadSample
-from repro.winner.protocol import LoadReport, SYSTEM_MANAGER_PORT
+from repro.winner.protocol import (
+    LoadReport,
+    LoadReportDelta,
+    SYSTEM_MANAGER_PORT,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.host import Host
@@ -35,6 +39,9 @@ class NodeManager:
         manager_port: int = SYSTEM_MANAGER_PORT,
         interval: float = 1.0,
         jitter: float = 0.05,
+        delta_reports: bool = False,
+        deadband: float = 0.02,
+        full_interval: int = 8,
     ) -> None:
         self.host = host
         self.network = network
@@ -42,11 +49,32 @@ class NodeManager:
         self.manager_port = manager_port
         self.interval = interval
         self.jitter = jitter
+        #: send field-masked deltas instead of a full report per tick;
+        #: off by default (the paper's protocol ships full reports).
+        self.delta_reports = delta_reports
+        #: minimum CPU-utilization movement (absolute, utilization is in
+        #: [0, 1]) before the field travels in a delta.
+        self.deadband = deadband
+        #: a full report every this many reports bounds collector drift
+        #: (and re-seeds a collector that restarted mid-stream).
+        self.full_interval = max(1, full_interval)
         self._process: Optional["Process"] = None
         self._seq = 0
         self._last_busy_integral = 0.0
         self._last_sample_time = host.sim.now
         self.samples_taken = 0
+        #: last values actually *sent* per field (deadband compares
+        #: against what the collector holds, not the previous sample).
+        self._sent_cpu: Optional[float] = None
+        self._sent_run_queue: Optional[int] = None
+        self._sent_speed: Optional[float] = None
+        self._sent_cores: Optional[int] = None
+        self._since_full = 0
+        self._last_send_time: Optional[float] = None
+        self.full_reports_sent = 0
+        self.delta_reports_sent = 0
+        self.reports_coalesced = 0
+        self.report_bytes_sent = 0
 
     @property
     def running(self) -> bool:
@@ -57,6 +85,13 @@ class NodeManager:
             return self
         self._last_busy_integral = self.host.cpu.utilization_integral()
         self._last_sample_time = self.host.sim.now
+        # Forget what was sent before: the first report after a (re)start
+        # is always full, so a collector that lost us mid-stream re-seeds.
+        self._sent_cpu = None
+        self._sent_run_queue = None
+        self._sent_speed = None
+        self._sent_cores = None
+        self._since_full = 0
         self._process = self.host.spawn(self._run(), name="winner-nm")
         return self
 
@@ -93,6 +128,83 @@ class NodeManager:
         ).set(float(sample.run_queue))
         return sample
 
+    def send_report(self) -> None:
+        """Sample and report once (the periodic loop's body, also callable
+        out of band, e.g. right after a reconnect).
+
+        Same-tick sends coalesce: if a report already left at this exact
+        simulated instant (an out-of-band report landing on a periodic
+        tick), the duplicate is suppressed instead of hitting the wire.
+        """
+        sim = self.host.sim
+        if self._last_send_time == sim.now:
+            self.reports_coalesced += 1
+            sim.obs.metrics.counter(
+                "winner_reports_coalesced_total", host=self.host.name
+            ).inc()
+            return
+        sample = self.sample()
+        self._seq += 1
+        raw = self._encode_report(sample)
+        self._last_send_time = sim.now
+        self.report_bytes_sent += len(raw)
+        sim.obs.metrics.counter(
+            "winner_reports_sent_total", host=self.host.name
+        ).inc()
+        self.network.send(
+            self.host,
+            NODE_MANAGER_PORT,
+            self.manager_host,
+            self.manager_port,
+            raw,
+            len(raw),
+        )
+
+    def _encode_report(self, sample: LoadSample) -> bytes:
+        """The wire form of one sample: full, or a field-masked delta."""
+        full = (
+            not self.delta_reports
+            or self._sent_cpu is None
+            or self._since_full >= self.full_interval - 1
+            or sample.speed != self._sent_speed
+            or sample.cores != self._sent_cores
+        )
+        if full:
+            self._sent_cpu = sample.cpu_utilization
+            self._sent_run_queue = sample.run_queue
+            self._sent_speed = sample.speed
+            self._sent_cores = sample.cores
+            self._since_full = 0
+            self.full_reports_sent += 1
+            return LoadReport(
+                host=sample.host,
+                time=sample.time,
+                cpu_utilization=sample.cpu_utilization,
+                run_queue=sample.run_queue,
+                speed=sample.speed,
+                cores=sample.cores,
+                seq=self._seq,
+            ).encode()
+        cpu = None
+        if abs(sample.cpu_utilization - self._sent_cpu) > self.deadband:
+            cpu = sample.cpu_utilization
+            self._sent_cpu = cpu
+        run_queue = None
+        if sample.run_queue != self._sent_run_queue:
+            run_queue = sample.run_queue
+            self._sent_run_queue = run_queue
+        self._since_full += 1
+        self.delta_reports_sent += 1
+        # An all-None delta still goes out: it is the heartbeat that keeps
+        # the collector's staleness detector fed.
+        return LoadReportDelta(
+            host=sample.host,
+            time=sample.time,
+            seq=self._seq,
+            cpu_utilization=cpu,
+            run_queue=run_queue,
+        ).encode()
+
     def _run(self):
         sim = self.host.sim
         rng = sim.rng("winner-nm", self.host.name)
@@ -100,29 +212,7 @@ class NodeManager:
         yield sim.timeout(float(rng.uniform(0.0, self.interval)))
         try:
             while True:
-                sample = self.sample()
-                self._seq += 1
-                report = LoadReport(
-                    host=sample.host,
-                    time=sample.time,
-                    cpu_utilization=sample.cpu_utilization,
-                    run_queue=sample.run_queue,
-                    speed=sample.speed,
-                    cores=sample.cores,
-                    seq=self._seq,
-                )
-                raw = report.encode()
-                sim.obs.metrics.counter(
-                    "winner_reports_sent_total", host=self.host.name
-                ).inc()
-                self.network.send(
-                    self.host,
-                    NODE_MANAGER_PORT,
-                    self.manager_host,
-                    self.manager_port,
-                    raw,
-                    len(raw),
-                )
+                self.send_report()
                 delay = self.interval
                 if self.jitter:
                     delay *= 1.0 + float(rng.uniform(-self.jitter, self.jitter))

@@ -18,7 +18,12 @@ from typing import Iterable, Optional, Sequence, TYPE_CHECKING
 
 from repro.errors import CdrError, ProcessKilled, ServiceError
 from repro.winner.metrics import Ewma
-from repro.winner.protocol import LoadReport, SYSTEM_MANAGER_PORT
+from repro.winner.protocol import (
+    LoadReport,
+    LoadReportDelta,
+    SYSTEM_MANAGER_PORT,
+    decode_report,
+)
 from repro.winner.ranking import ExpectedRateRanking, Ranking
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -41,6 +46,13 @@ class HostRecord:
     reports_received: int = 0
     #: placements noted since their TTL; list of expiry times.
     placement_expiries: list[float] = field(default_factory=list)
+    #: last *raw* (pre-EWMA) report values; the base a delta report is
+    #: applied on top of.
+    last_cpu: float = 0.0
+    last_run_queue: int = 0
+    #: ranking score memoized at the last input change (incremental
+    #: ranking: recomputed on report/placement events, not per query).
+    cached_score: float = float("-inf")
 
     def expire_placements(self, now: float) -> None:
         self.placement_expiries = [t for t in self.placement_expiries if t > now]
@@ -74,6 +86,20 @@ class SystemManager:
         self._inbox = network.bind(host, port)
         self._process: "Process" = host.spawn(self._collect(), name="winner-sm")
         self.reports_received = 0
+        self.delta_reports_received = 0
+        #: deltas dropped because no full report preceded them (a collector
+        #: restart, or the delta raced the sender's first full).
+        self.delta_reports_ignored = 0
+        #: monotonically increasing: bumps whenever a *report-driven* score
+        #: change reorders knowledge about the cluster.  Placement feedback
+        #: (note_placement / placement expiry) deliberately does not bump it
+        #: — a resolve cache keyed on the epoch must survive its own
+        #: placements (round-robin within the cached top-k compensates).
+        self.ranking_epoch = 0
+        #: host names sorted by (-score, name); rebuilt lazily on demand
+        #: instead of re-scoring every candidate per best_host call.
+        self._ranked: list[str] = []
+        self._ranked_dirty = False
 
     # -- collection ------------------------------------------------------------
 
@@ -82,10 +108,13 @@ class SystemManager:
             while True:
                 datagram = yield self._inbox.get()
                 try:
-                    report = LoadReport.decode(bytes(datagram.payload))
-                except (CdrError, TypeError):
+                    report = decode_report(bytes(datagram.payload))
+                except (CdrError, TypeError, IndexError):
                     continue
-                self._apply(report)
+                if isinstance(report, LoadReportDelta):
+                    self._apply_delta(report)
+                else:
+                    self._apply(report)
         except ProcessKilled:
             raise
 
@@ -99,18 +128,75 @@ class SystemManager:
         record.last_seq = report.seq
         record.speed = report.speed
         record.cores = report.cores
-        record.utilization_ewma.update(report.cpu_utilization)
-        record.run_queue_ewma.update(report.run_queue)
-        record.last_report_time = self.host.sim.now
-        record.reports_received += 1
-        self.reports_received += 1
+        self._ingest(record, report.cpu_utilization, report.run_queue)
         metrics = self.host.sim.obs.metrics
         metrics.counter(
             "winner_reports_received_total", host=report.host
         ).inc()
         metrics.gauge(
             "winner_host_score", host=report.host
-        ).set(self.ranking.score(record))
+        ).set(record.cached_score)
+
+    def _apply_delta(self, delta: LoadReportDelta) -> None:
+        record = self.records.get(delta.host)
+        if record is None or record.reports_received == 0:
+            # No full report to apply the delta on top of: drop it and
+            # wait for the sender's next full (the full_interval bounds
+            # how long that takes).
+            self.delta_reports_ignored += 1
+            self.host.sim.obs.metrics.counter(
+                "winner_delta_reports_ignored_total", host=delta.host
+            ).inc()
+            return
+        if delta.seq <= record.last_seq:
+            return  # reordered or duplicated datagram
+        record.last_seq = delta.seq
+        cpu = (
+            delta.cpu_utilization
+            if delta.cpu_utilization is not None
+            else record.last_cpu
+        )
+        run_queue = (
+            delta.run_queue
+            if delta.run_queue is not None
+            else record.last_run_queue
+        )
+        self._ingest(record, cpu, run_queue)
+        self.delta_reports_received += 1
+        metrics = self.host.sim.obs.metrics
+        metrics.counter(
+            "winner_delta_reports_received_total", host=delta.host
+        ).inc()
+        metrics.gauge(
+            "winner_host_score", host=delta.host
+        ).set(record.cached_score)
+
+    def _ingest(self, record: HostRecord, cpu: float, run_queue: int) -> None:
+        """Feed one report's raw values into a record and re-score it."""
+        record.utilization_ewma.update(cpu)
+        record.run_queue_ewma.update(run_queue)
+        record.last_cpu = cpu
+        record.last_run_queue = run_queue
+        record.last_report_time = self.host.sim.now
+        record.reports_received += 1
+        self.reports_received += 1
+        self._rescore(record, bump_epoch=True)
+
+    def _rescore(self, record: HostRecord, bump_epoch: bool) -> None:
+        """Update a record's memoized score after one of its inputs moved."""
+        score = self.ranking.score(record)
+        if score != record.cached_score:
+            record.cached_score = score
+            self._ranked_dirty = True
+            if bump_epoch:
+                self.ranking_epoch += 1
+
+    def _refresh(self, record: HostRecord, now: float) -> None:
+        """Expire stale pending placements and keep the score consistent."""
+        before = record.pending_placements
+        record.expire_placements(now)
+        if record.pending_placements != before:
+            self._rescore(record, bump_epoch=False)
 
     # -- queries -----------------------------------------------------------------
 
@@ -147,9 +233,9 @@ class SystemManager:
         record = self.records.get(host_name)
         if record is None:
             return float("-inf")
-        record.expire_placements(self.host.sim.now)
+        self._refresh(record, self.host.sim.now)
         if run_queue_discount <= 0.0 and placement_discount <= 0:
-            return self.ranking.score(record)
+            return record.cached_score
         adjusted = HostRecord(
             host=record.host,
             speed=record.speed,
@@ -175,6 +261,26 @@ class SystemManager:
         adjusted.placement_expiries = kept
         return self.ranking.score(adjusted)
 
+    def _expire_and_rank(self) -> list[str]:
+        """Expire pending placements everywhere, then return the ranking.
+
+        Placements expire with *time*, not with wall events, so every
+        query entry point charges the expiry explicitly — a stale pending
+        placement must not skew ranking between collect ticks.  The sorted
+        list is rebuilt only when some score actually changed since the
+        last query (update-on-report instead of full re-sort per call).
+        """
+        now = self.host.sim.now
+        for record in self.records.values():
+            self._refresh(record, now)
+        if self._ranked_dirty or len(self._ranked) != len(self.records):
+            self._ranked = sorted(
+                self.records,
+                key=lambda name: (-self.records[name].cached_score, name),
+            )
+            self._ranked_dirty = False
+        return self._ranked
+
     def best_host(
         self,
         candidates: Optional[Sequence[str]] = None,
@@ -184,17 +290,32 @@ class SystemManager:
 
         Ties break by host name.  Returns None when no candidate is alive.
         """
+        hosts = self.top_hosts(candidates=candidates, k=1, exclude=exclude)
+        return hosts[0] if hosts else None
+
+    def top_hosts(
+        self,
+        candidates: Optional[Sequence[str]] = None,
+        k: int = 1,
+        exclude: Iterable[str] = (),
+    ) -> list[str]:
+        """The ``k`` best alive candidates, best first (ties by name)."""
         excluded = set(exclude)
-        pool = list(candidates) if candidates else self.alive_hosts()
-        best_name: Optional[str] = None
-        best_score = float("-inf")
-        for name in sorted(set(pool)):
-            if name in excluded or not self.is_alive(name):
+        # Falsy candidates means "no restriction" (matching the historical
+        # best_host behaviour, where an empty list fell back to all hosts).
+        pool = set(candidates) if candidates else None
+        best: list[str] = []
+        for name in self._expire_and_rank():
+            if name in excluded:
                 continue
-            score = self.score(name)
-            if score > best_score:
-                best_name, best_score = name, score
-        return best_name
+            if pool is not None and name not in pool:
+                continue
+            if not self.is_alive(name):
+                continue
+            best.append(name)
+            if len(best) >= k:
+                break
+        return best
 
     def note_placement(self, host_name: str) -> None:
         """Record that work was just placed on ``host_name``."""
@@ -204,6 +325,7 @@ class SystemManager:
         now = self.host.sim.now
         record.expire_placements(now)
         record.placement_expiries.append(now + self.placement_ttl)
+        self._rescore(record, bump_epoch=False)
 
     def snapshot(self) -> list[dict]:
         """A stable view of all records (for the CORBA face and reports)."""
@@ -211,7 +333,7 @@ class SystemManager:
         rows = []
         for name in sorted(self.records):
             record = self.records[name]
-            record.expire_placements(now)
+            self._refresh(record, now)
             rows.append(
                 {
                     "host": name,
@@ -219,7 +341,7 @@ class SystemManager:
                     "cores": record.cores,
                     "utilization": record.utilization_ewma.value,
                     "run_queue": record.run_queue_ewma.value,
-                    "score": self.ranking.score(record),
+                    "score": record.cached_score,
                     "alive": now - record.last_report_time <= self.stale_after,
                 }
             )

@@ -1,0 +1,228 @@
+"""Tests for delta load reports (the Winner leg of the resolve fast path):
+wire roundtrip, sender-side deadband/full-interval policy, collector-side
+application, and the incremental ranking epoch."""
+
+from repro.winner import NodeManager, SystemManager
+from repro.winner.metrics import LoadSample
+from repro.winner.protocol import (
+    LoadReport,
+    LoadReportDelta,
+    decode_report,
+)
+
+MANAGER = "ws00"
+
+
+def make_sample(host="ws01", time=0.0, cpu=0.5, run_queue=2, speed=1.0, cores=1):
+    return LoadSample(
+        host=host,
+        time=time,
+        cpu_utilization=cpu,
+        run_queue=run_queue,
+        speed=speed,
+        cores=cores,
+    )
+
+
+def make_node_manager(world, host_index=1, **kwargs):
+    # A huge interval keeps the periodic loop quiet: these tests drive the
+    # encoder by hand and never advance simulated time past one tick.
+    kwargs.setdefault("interval", 1000.0)
+    kwargs.setdefault("delta_reports", True)
+    return NodeManager(
+        world.host(host_index), world.network, manager_host=MANAGER, **kwargs
+    )
+
+
+def full_report(host="ws01", time=0.0, cpu=0.5, run_queue=2, seq=1):
+    return LoadReport(
+        host=host,
+        time=time,
+        cpu_utilization=cpu,
+        run_queue=run_queue,
+        speed=1.0,
+        cores=1,
+        seq=seq,
+    )
+
+
+# -- wire format -------------------------------------------------------------------
+
+
+def test_delta_roundtrip_both_fields():
+    delta = LoadReportDelta(
+        host="ws03", time=1.5, seq=7, cpu_utilization=0.25, run_queue=4
+    )
+    assert LoadReportDelta.decode(delta.encode()) == delta
+
+
+def test_delta_roundtrip_partial_and_heartbeat():
+    cpu_only = LoadReportDelta(host="ws01", time=2.0, seq=3, cpu_utilization=0.9)
+    rq_only = LoadReportDelta(host="ws01", time=2.5, seq=4, run_queue=1)
+    heartbeat = LoadReportDelta(host="ws01", time=3.0, seq=5)
+    for delta in (cpu_only, rq_only, heartbeat):
+        assert LoadReportDelta.decode(delta.encode()) == delta
+
+
+def test_decode_report_dispatches_on_magic():
+    report = full_report()
+    delta = LoadReportDelta(host="ws01", time=1.0, seq=2, cpu_utilization=0.1)
+    assert decode_report(report.encode()) == report
+    assert decode_report(delta.encode()) == delta
+
+
+def test_delta_smaller_than_full_report():
+    full = full_report().encode()
+    delta = LoadReportDelta(host="ws01", time=0.0, seq=2, run_queue=3).encode()
+    assert len(delta) < len(full)
+
+
+# -- sender policy -----------------------------------------------------------------
+
+
+def test_first_report_is_full_then_deltas(world):
+    nm = make_node_manager(world)
+    first = decode_report(nm._encode_report(make_sample(cpu=0.5)))
+    second = decode_report(nm._encode_report(make_sample(cpu=0.9, run_queue=3)))
+    assert isinstance(first, LoadReport)
+    assert isinstance(second, LoadReportDelta)
+    assert second.cpu_utilization == 0.9
+    assert second.run_queue == 3
+    assert (nm.full_reports_sent, nm.delta_reports_sent) == (1, 1)
+
+
+def test_deadband_suppresses_small_cpu_moves(world):
+    nm = make_node_manager(world, deadband=0.05)
+    nm._encode_report(make_sample(cpu=0.50))
+    within = decode_report(nm._encode_report(make_sample(cpu=0.52)))
+    assert within.cpu_utilization is None  # moved less than the deadband
+    beyond = decode_report(nm._encode_report(make_sample(cpu=0.60)))
+    # Deadband compares against the last *sent* value (0.50), so the two
+    # small moves accumulate until the field finally travels.
+    assert beyond.cpu_utilization == 0.60
+
+
+def test_run_queue_change_always_travels(world):
+    nm = make_node_manager(world)
+    nm._encode_report(make_sample(run_queue=2))
+    delta = decode_report(nm._encode_report(make_sample(run_queue=3)))
+    assert delta.run_queue == 3
+
+
+def test_speed_change_forces_full_report(world):
+    nm = make_node_manager(world)
+    nm._encode_report(make_sample(speed=1.0))
+    forced = decode_report(nm._encode_report(make_sample(speed=2.0)))
+    assert isinstance(forced, LoadReport)
+    assert forced.speed == 2.0
+
+
+def test_full_interval_bounds_delta_runs(world):
+    nm = make_node_manager(world, full_interval=3)
+    kinds = [
+        type(decode_report(nm._encode_report(make_sample(cpu=0.1 * i))))
+        for i in range(6)
+    ]
+    assert kinds == [
+        LoadReport,
+        LoadReportDelta,
+        LoadReportDelta,
+        LoadReport,
+        LoadReportDelta,
+        LoadReportDelta,
+    ]
+
+
+def test_restart_resends_full_report(world):
+    nm = make_node_manager(world)
+    nm._encode_report(make_sample(cpu=0.5))
+    assert isinstance(
+        decode_report(nm._encode_report(make_sample(cpu=0.6))), LoadReportDelta
+    )
+    nm.start()  # a (re)start must re-seed the collector
+    nm.stop()
+    assert isinstance(
+        decode_report(nm._encode_report(make_sample(cpu=0.6))), LoadReport
+    )
+
+
+# -- collector ---------------------------------------------------------------------
+
+
+def test_delta_before_full_is_ignored(world):
+    sm = SystemManager(world.host(0), world.network)
+    sm._apply_delta(LoadReportDelta(host="ws09", time=0.0, seq=1, run_queue=5))
+    assert sm.delta_reports_ignored == 1
+    assert "ws09" not in sm.records
+
+
+def test_delta_applies_on_top_of_last_raw_values(world):
+    sm = SystemManager(world.host(0), world.network)
+    sm._apply(full_report(cpu=0.8, run_queue=2, seq=1))
+    sm._apply_delta(LoadReportDelta(host="ws01", time=1.0, seq=2, run_queue=5))
+    record = sm.records["ws01"]
+    assert record.last_cpu == 0.8  # masked field: carried forward
+    assert record.last_run_queue == 5
+    assert sm.delta_reports_received == 1
+
+
+def test_heartbeat_delta_keeps_host_alive(world):
+    sm = SystemManager(world.host(0), world.network)
+    sm._apply(full_report(seq=1))
+
+    def wait():
+        yield world.sim.timeout(3.0)
+
+    world.run(wait())
+    sm._apply_delta(LoadReportDelta(host="ws01", time=world.sim.now, seq=2))
+    world.run(wait())
+    # Two 3 s gaps exceed stale_after; the empty delta in between reset
+    # the staleness clock, so the host is still considered alive.
+    assert sm.is_alive("ws01")
+
+
+def test_out_of_order_delta_dropped(world):
+    sm = SystemManager(world.host(0), world.network)
+    sm._apply(full_report(run_queue=2, seq=5))
+    sm._apply_delta(LoadReportDelta(host="ws01", time=0.5, seq=4, run_queue=9))
+    assert sm.records["ws01"].last_run_queue == 2
+
+
+def test_end_to_end_delta_stream_over_network(world):
+    sm = SystemManager(world.host(0), world.network)
+    nm = make_node_manager(world, host_index=1, interval=0.5)
+    nm.start()
+
+    def wait():
+        yield world.sim.timeout(5.0)
+
+    world.run(wait())
+    nm.stop()
+    assert nm.delta_reports_sent > 0
+    assert sm.delta_reports_received > 0
+    assert sm.is_alive("ws01")
+    assert nm.report_bytes_sent > 0
+
+
+# -- incremental ranking epoch ------------------------------------------------------
+
+
+def test_reports_bump_epoch_placements_do_not(world):
+    sm = SystemManager(world.host(0), world.network)
+    sm._apply(full_report(cpu=0.2, seq=1))
+    after_report = sm.ranking_epoch
+    assert after_report > 0
+    sm.note_placement("ws01")
+    assert sm.ranking_epoch == after_report
+    # A report that moves the score (longer run queue) does bump it.
+    sm._apply(full_report(cpu=0.9, run_queue=6, seq=2, time=1.0))
+    assert sm.ranking_epoch > after_report
+
+
+def test_identical_report_does_not_bump_epoch(world):
+    sm = SystemManager(world.host(0), world.network)
+    sm._apply(full_report(cpu=0.5, seq=1))
+    sm._apply(full_report(cpu=0.5, seq=2, time=1.0))  # EWMA fixed point
+    epoch = sm.ranking_epoch
+    sm._apply(full_report(cpu=0.5, seq=3, time=2.0))
+    assert sm.ranking_epoch == epoch
