@@ -1,0 +1,8 @@
+"""Entry point for ``python -m repro.analysis``."""
+
+import sys
+
+from repro.analysis.cli import run
+
+if __name__ == "__main__":
+    sys.exit(run())

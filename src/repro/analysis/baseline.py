@@ -1,0 +1,102 @@
+"""The checked-in suppression baseline.
+
+The baseline exists for findings that are *provably benign but not worth
+an inline directive* — each entry must carry a justification string; an
+entry without one (or with a ``TODO`` placeholder) invalidates the whole
+file, because an unjustified baseline is indistinguishable from a swept-
+under-the-rug defect.
+
+Entries match findings by fingerprint (code + path + context + message,
+line-independent — see :class:`repro.analysis.findings.Finding`), so pure
+line drift never stales the baseline but any semantic change to the
+finding does.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.findings import Finding
+
+FORMAT_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed or carries unjustified entries."""
+
+
+@dataclass
+class Baseline:
+    entries: list[dict] = field(default_factory=list)
+    path: Path | None = None
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        try:
+            payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise BaselineError(f"{path}: not valid JSON ({exc})") from exc
+        if not isinstance(payload, dict) or payload.get("version") != FORMAT_VERSION:
+            raise BaselineError(
+                f"{path}: expected an object with version={FORMAT_VERSION}"
+            )
+        entries = payload.get("suppressions", [])
+        if not isinstance(entries, list):
+            raise BaselineError(f"{path}: 'suppressions' must be a list")
+        for index, entry in enumerate(entries):
+            if not isinstance(entry, dict) or "fingerprint" not in entry:
+                raise BaselineError(
+                    f"{path}: suppression #{index} needs a 'fingerprint'"
+                )
+            justification = str(entry.get("justification", "")).strip()
+            if not justification or justification.upper().startswith("TODO"):
+                raise BaselineError(
+                    f"{path}: suppression #{index} "
+                    f"({entry.get('code', '?')} {entry.get('path', '?')}) "
+                    "has no justification — baseline entries must say why "
+                    "they are benign"
+                )
+        return cls(entries=entries, path=Path(path))
+
+    def matches(self, finding: Finding) -> bool:
+        return any(
+            entry["fingerprint"] == finding.fingerprint for entry in self.entries
+        )
+
+    def unmatched(self, seen_fingerprints: set[str]) -> list[dict]:
+        """Entries that matched no current finding (stale)."""
+        return [
+            entry
+            for entry in self.entries
+            if entry["fingerprint"] not in seen_fingerprints
+        ]
+
+    @staticmethod
+    def render(findings: Iterable[Finding], justification: str = "") -> str:
+        """Serialize ``findings`` as a fresh baseline document.
+
+        The caller is expected to replace the placeholder justifications
+        before committing — the loader rejects ``TODO`` strings on purpose.
+        """
+        entries = []
+        seen: set[str] = set()
+        for finding in findings:
+            if finding.fingerprint in seen:
+                continue  # one entry covers every finding it fingerprints
+            seen.add(finding.fingerprint)
+            entries.append(
+                {
+                    "fingerprint": finding.fingerprint,
+                    "code": finding.code,
+                    "path": finding.path,
+                    "context": finding.context,
+                    "message": finding.message,
+                    "justification": justification or "TODO: justify or fix",
+                }
+            )
+        return json.dumps(
+            {"version": FORMAT_VERSION, "suppressions": entries}, indent=2
+        ) + "\n"

@@ -1,0 +1,22 @@
+"""The checker families shipped with ``repro.analysis``."""
+
+from repro.analysis.checkers.atomicity import AtomicityChecker
+from repro.analysis.checkers.determinism import DeterminismChecker
+from repro.analysis.checkers.exceptions import ExceptionSafetyChecker
+from repro.analysis.checkers.idlconf import IdlConformanceChecker
+
+#: registration order is report order.
+ALL_CHECKERS = (
+    DeterminismChecker,
+    IdlConformanceChecker,
+    AtomicityChecker,
+    ExceptionSafetyChecker,
+)
+
+__all__ = [
+    "ALL_CHECKERS",
+    "AtomicityChecker",
+    "DeterminismChecker",
+    "ExceptionSafetyChecker",
+    "IdlConformanceChecker",
+]

@@ -1,0 +1,172 @@
+"""``python -m repro.analysis`` — the project's static-analysis gate.
+
+Typical invocations::
+
+    PYTHONPATH=src python -m repro.analysis                 # default tree, report
+    PYTHONPATH=src python -m repro.analysis --strict        # CI gate (warnings fail)
+    PYTHONPATH=src python -m repro.analysis --json out.json # machine report
+    PYTHONPATH=src python -m repro.analysis --write-baseline  # (re)seed baseline
+    PYTHONPATH=src python -m repro.analysis --list-checkers   # the catalog
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis.baseline import Baseline, BaselineError
+from repro.analysis.checkers import ALL_CHECKERS
+from repro.analysis.findings import AnalysisResult
+from repro.analysis.framework import checker_catalog, run_checkers
+from repro.analysis.report import render_catalog, render_json, render_text
+from repro.analysis.source import Project, find_repo_root
+
+BASELINE_FILENAME = "analysis-baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "Project-specific static analysis: determinism lint, IDL "
+            "conformance, yield-point/atomicity races, exception safety."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to analyse (default: the src/repro tree)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="repository root for relative paths (default: auto-detected)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help=f"suppression baseline (default: <root>/{BASELINE_FILENAME})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file even if present",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to the baseline file and exit "
+        "(justifications start as TODO placeholders that must be edited)",
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="also write a structured JSON report to FILE ('-' = stdout)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on warnings and stale baseline entries, not just errors",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="CODES",
+        help="comma-separated finding codes or prefixes (e.g. DET,IDL003)",
+    )
+    parser.add_argument(
+        "--no-semantic",
+        action="store_true",
+        help="skip checks that compile the IDL toolchain (pure-AST mode)",
+    )
+    parser.add_argument(
+        "--list-checkers",
+        action="store_true",
+        help="print the checker/finding-code catalog and exit",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="also list baselined and inline-suppressed findings",
+    )
+    return parser
+
+
+def run(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    checkers = [checker_cls() for checker_cls in ALL_CHECKERS]
+    if args.list_checkers:
+        print(render_catalog(checker_catalog(checkers)))
+        return 0
+
+    root = (args.root or find_repo_root(Path.cwd())).resolve()
+    paths = [p.resolve() for p in args.paths]
+    if not paths:
+        default_tree = root / "src" / "repro"
+        if not default_tree.is_dir():
+            import repro
+
+            default_tree = Path(repro.__file__).parent
+            root = find_repo_root(default_tree)
+        paths = [default_tree]
+
+    project = Project.from_paths(paths, root=root, semantic=not args.no_semantic)
+
+    baseline_path = args.baseline or (root / BASELINE_FILENAME)
+    baseline: Optional[Baseline] = None
+    if args.write_baseline:
+        result = run_checkers(
+            project, checkers, baseline=None, select=_parse_select(args.select)
+        )
+        baseline_path.write_text(
+            Baseline.render(result.findings), encoding="utf-8"
+        )
+        print(
+            f"wrote {len(result.findings)} suppression(s) to {baseline_path}; "
+            "edit the TODO justifications before committing"
+        )
+        return 0
+    if not args.no_baseline and baseline_path.exists():
+        try:
+            baseline = Baseline.load(baseline_path)
+        except BaselineError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    result = run_checkers(
+        project, checkers, baseline=baseline, select=_parse_select(args.select)
+    )
+    print(render_text(result, verbose=args.verbose))
+    if args.json is not None:
+        payload = render_json(result, strict=args.strict)
+        if str(args.json) == "-":
+            sys.stdout.write(payload)
+        else:
+            Path(args.json).write_text(payload, encoding="utf-8")
+    return result.exit_code(strict=args.strict)
+
+
+def _parse_select(select: Optional[str]) -> Optional[list[str]]:
+    if not select:
+        return None
+    return [code.strip().upper() for code in select.split(",") if code.strip()]
+
+
+def analyze_paths(
+    paths: Sequence[Path],
+    root: Optional[Path] = None,
+    semantic: bool = True,
+    baseline: Optional[Baseline] = None,
+) -> AnalysisResult:
+    """Programmatic entry point: run every checker over ``paths``."""
+    project = Project.from_paths(paths, root=root, semantic=semantic)
+    checkers = [checker_cls() for checker_cls in ALL_CHECKERS]
+    return run_checkers(project, checkers, baseline=baseline)

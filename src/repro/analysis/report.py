@@ -1,0 +1,91 @@
+"""Human and JSON rendering of an :class:`AnalysisResult`."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Sequence
+
+from repro.analysis.findings import AnalysisResult
+
+
+def render_text(result: AnalysisResult, verbose: bool = False) -> str:
+    """The human report: findings grouped in file order, then a summary."""
+    lines: list[str] = []
+    for finding in result.findings:
+        lines.append(finding.render())
+    if verbose and result.baselined:
+        lines.append("")
+        lines.append("baselined (justified in the suppression file):")
+        for finding in result.baselined:
+            lines.append(f"  {finding.render()}")
+    if verbose and result.suppressed:
+        lines.append("")
+        lines.append("suppressed inline (# analysis: ignore[...]):")
+        for finding in result.suppressed:
+            lines.append(f"  {finding.render()}")
+    if result.stale_baseline:
+        lines.append("")
+        lines.append(
+            "stale baseline entries (match nothing in the tree — remove them):"
+        )
+        for entry in result.stale_baseline:
+            lines.append(
+                f"  {entry.get('code', '?')} {entry.get('path', '?')} "
+                f"[{entry.get('context', '')}] {entry.get('fingerprint')}"
+            )
+    lines.append("")
+    lines.append(summary_line(result))
+    return "\n".join(lines)
+
+
+def summary_line(result: AnalysisResult) -> str:
+    by_code = Counter(finding.code for finding in result.findings)
+    breakdown = (
+        " (" + ", ".join(f"{code} x{n}" for code, n in sorted(by_code.items())) + ")"
+        if by_code
+        else ""
+    )
+    return (
+        f"{len(result.findings)} finding(s){breakdown}: "
+        f"{len(result.errors)} error(s), {len(result.warnings)} warning(s); "
+        f"{len(result.baselined)} baselined, {len(result.suppressed)} "
+        f"suppressed inline; {result.files_checked} file(s), "
+        f"checkers: {', '.join(result.checkers_run)}"
+    )
+
+
+def render_json(result: AnalysisResult, strict: bool = False) -> str:
+    payload = {
+        "version": 1,
+        "summary": {
+            "findings": len(result.findings),
+            "errors": len(result.errors),
+            "warnings": len(result.warnings),
+            "baselined": len(result.baselined),
+            "suppressed": len(result.suppressed),
+            "stale_baseline": len(result.stale_baseline),
+            "files_checked": result.files_checked,
+            "checkers": list(result.checkers_run),
+            "exit_code": result.exit_code(strict=strict),
+        },
+        "findings": [finding.to_dict() for finding in result.findings],
+        "baselined": [finding.to_dict() for finding in result.baselined],
+        "suppressed": [finding.to_dict() for finding in result.suppressed],
+        "stale_baseline": result.stale_baseline,
+    }
+    return json.dumps(payload, indent=2) + "\n"
+
+
+def render_catalog(catalog: dict[str, dict[str, str]]) -> str:
+    lines: list[str] = []
+    for checker_name, codes in catalog.items():
+        lines.append(f"{checker_name}:")
+        for code, description in sorted(codes.items()):
+            lines.append(f"  {code}  {description}")
+    return "\n".join(lines)
+
+
+def render_findings_table(findings: Sequence) -> str:
+    """Compact one-line-per-finding view (used by the example script)."""
+    return "\n".join(finding.render() for finding in findings)

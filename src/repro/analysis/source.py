@@ -1,0 +1,194 @@
+"""Source-file and project models the checkers operate on.
+
+A :class:`SourceFile` bundles one parsed module: text, AST, the comment map
+(extracted with :mod:`tokenize`, so trailing comments are attributed to the
+right line), the parsed ``# analysis:`` directives, and an import-alias
+table for resolving dotted call names.  A :class:`Project` is the set of
+files under analysis plus the root used for repo-relative paths.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Optional
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.suppressions import Directives, parse_directives
+
+
+def extract_comments(text: str) -> dict[int, str]:
+    """``{line: comment_text}`` for every comment token in ``text``."""
+    comments: dict[int, str] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                comments[token.start[0]] = token.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # A file that fails to tokenize surfaces as an ANA001 parse
+        # finding via ast.parse; comments are best-effort here.
+        pass
+    return comments
+
+
+def _import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Local name -> fully-qualified dotted origin, from import statements."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                local = name.asname or name.name.split(".")[0]
+                aliases[local] = name.name if name.asname else name.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for name in node.names:
+                if name.name == "*":
+                    continue
+                local = name.asname or name.name
+                aliases[local] = f"{node.module}.{name.name}"
+    return aliases
+
+
+@dataclass
+class SourceFile:
+    """One parsed Python module under analysis."""
+
+    path: Path
+    relpath: str
+    text: str
+    tree: Optional[ast.Module]
+    comments: dict[int, str] = field(default_factory=dict)
+    directives: Directives = field(default_factory=Directives)
+    import_aliases: dict[str, str] = field(default_factory=dict)
+    parse_error: Optional[str] = None
+
+    @classmethod
+    def load(cls, path: Path, root: Path) -> "SourceFile":
+        text = path.read_text(encoding="utf-8")
+        return cls.from_text(text, path, root)
+
+    @classmethod
+    def from_text(cls, text: str, path: Path, root: Path) -> "SourceFile":
+        try:
+            relpath = path.relative_to(root).as_posix()
+        except ValueError:
+            relpath = path.as_posix()
+        tree: Optional[ast.Module] = None
+        parse_error: Optional[str] = None
+        try:
+            tree = ast.parse(text, filename=str(path))
+        except SyntaxError as exc:
+            parse_error = f"syntax error: {exc.msg}"
+        comments = extract_comments(text)
+        return cls(
+            path=path,
+            relpath=relpath,
+            text=text,
+            tree=tree,
+            comments=comments,
+            directives=parse_directives(comments),
+            import_aliases=_import_aliases(tree) if tree else {},
+            parse_error=parse_error,
+        )
+
+    def resolve_call_name(self, node: ast.expr) -> str:
+        """Best-effort dotted name of a call target, import-resolved.
+
+        ``np.random.rand`` with ``import numpy as np`` resolves to
+        ``numpy.random.rand``; unresolvable shapes return ``""``.
+        """
+        parts: list[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return ""
+        parts.append(current.id)
+        parts.reverse()
+        head = self.import_aliases.get(parts[0], parts[0])
+        return ".".join([head, *parts[1:]])
+
+
+@dataclass
+class Project:
+    """The file set one analysis run operates on."""
+
+    root: Path
+    files: list[SourceFile] = field(default_factory=list)
+    #: whether semantic (import-the-toolchain) checks may run.
+    semantic: bool = True
+
+    @classmethod
+    def from_paths(
+        cls,
+        paths: Iterable[Path],
+        root: Optional[Path] = None,
+        semantic: bool = True,
+    ) -> "Project":
+        paths = [Path(p).resolve() for p in paths]
+        if root is None:
+            root = find_repo_root(paths[0] if paths else Path.cwd())
+        project = cls(root=Path(root).resolve(), semantic=semantic)
+        for path in paths:
+            for file_path in sorted(_iter_python_files(path)):
+                project.files.append(SourceFile.load(file_path, project.root))
+        return project
+
+    def by_relpath(self, relpath: str) -> Optional[SourceFile]:
+        for source in self.files:
+            if source.relpath == relpath or source.relpath.endswith(f"/{relpath}"):
+                return source
+        return None
+
+    def config_findings(self) -> list[Finding]:
+        """Findings about the analysis inputs themselves: unparseable
+        files and malformed directives (code ``ANA001``)."""
+        findings: list[Finding] = []
+        for source in self.files:
+            if source.parse_error:
+                findings.append(
+                    Finding(
+                        code="ANA001",
+                        message=source.parse_error,
+                        path=source.relpath,
+                        line=1,
+                        severity=Severity.ERROR,
+                        checker="framework",
+                    )
+                )
+            for line, message in source.directives.malformed:
+                findings.append(
+                    Finding(
+                        code="ANA001",
+                        message=message,
+                        path=source.relpath,
+                        line=line,
+                        severity=Severity.ERROR,
+                        checker="framework",
+                    )
+                )
+        return findings
+
+
+def _iter_python_files(path: Path) -> Iterator[Path]:
+    if path.is_file():
+        if path.suffix == ".py":
+            yield path
+        return
+    for candidate in path.rglob("*.py"):
+        if "__pycache__" in candidate.parts:
+            continue
+        yield candidate
+
+
+def find_repo_root(start: Path) -> Path:
+    """Walk up from ``start`` to the directory holding ``pyproject.toml``."""
+    current = start if start.is_dir() else start.parent
+    for candidate in (current, *current.parents):
+        if (candidate / "pyproject.toml").exists():
+            return candidate
+    return current

@@ -1,0 +1,118 @@
+"""Structured ``# analysis:`` comment directives.
+
+Supported directives (one per comment, anywhere a comment is legal):
+
+``# analysis: ignore[CODE1,CODE2]: justification``
+    Silence the listed finding codes on this line *and* the line directly
+    below it (so a directive can sit on its own line above long statements).
+    The justification text is mandatory — an ignore without one is itself
+    reported as ``ANA001``.
+
+``# analysis: file-ignore[CODE]: justification``
+    Silence a code for the whole file (same justification rule).
+
+``# analysis: atomic: reason``
+    Declares the next/same-line ``def`` atomic with respect to the
+    cooperative scheduler: the function must not be a generator and must
+    not transitively call one (checked by the atomicity checker).
+
+``# analysis: atomic-begin(name)`` / ``# analysis: atomic-end(name)``
+    Brackets a declared-atomic region inside a generator function: no
+    yield points may occur between the markers.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+_IGNORE_RE = re.compile(
+    r"^#\s*analysis:\s*(file-)?ignore\[([A-Z0-9,\s]+)\]\s*:?\s*(.*)$"
+)
+_ATOMIC_FN_RE = re.compile(r"^#\s*analysis:\s*atomic\s*(?:$|:\s*(.*)$)")
+_ATOMIC_BEGIN_RE = re.compile(r"^#\s*analysis:\s*atomic-begin\(([\w.-]+)\)")
+_ATOMIC_END_RE = re.compile(r"^#\s*analysis:\s*atomic-end\(([\w.-]+)\)")
+#: anchored at the start of the comment token, so prose that merely
+#: *mentions* a directive (docs, this file) is not parsed as one.
+_ANY_DIRECTIVE_RE = re.compile(r"^#\s*analysis:")
+
+
+@dataclass
+class IgnoreDirective:
+    line: int
+    codes: tuple[str, ...]
+    justification: str
+    file_level: bool = False
+
+
+@dataclass
+class AtomicMarker:
+    """A whole-function ``atomic`` mark or a begin/end region bracket."""
+
+    line: int
+    kind: str  # "function" | "begin" | "end"
+    name: str = ""
+    reason: str = ""
+
+
+@dataclass
+class Directives:
+    """All ``# analysis:`` directives of one source file."""
+
+    ignores: list[IgnoreDirective] = field(default_factory=list)
+    atomic_markers: list[AtomicMarker] = field(default_factory=list)
+    #: lines whose directive could not be parsed (reported as ANA001).
+    malformed: list[tuple[int, str]] = field(default_factory=list)
+
+    def is_suppressed(self, code: str, line: int) -> IgnoreDirective | None:
+        """The directive silencing ``code`` at ``line``, if any."""
+        for directive in self.ignores:
+            if code not in directive.codes:
+                continue
+            if directive.file_level:
+                return directive
+            if directive.line in (line, line - 1):
+                return directive
+        return None
+
+
+def parse_directives(comments: dict[int, str]) -> Directives:
+    """Extract directives from a ``{line: comment_text}`` map."""
+    out = Directives()
+    for line, text in sorted(comments.items()):
+        if not _ANY_DIRECTIVE_RE.search(text):
+            continue
+        match = _IGNORE_RE.search(text)
+        if match:
+            file_level = bool(match.group(1))
+            codes = tuple(
+                code.strip()
+                for code in match.group(2).split(",")
+                if code.strip()
+            )
+            justification = match.group(3).strip()
+            if not codes or not justification or justification.upper().startswith("TODO"):
+                out.malformed.append(
+                    (line, "ignore directive needs codes and a justification")
+                )
+                continue
+            out.ignores.append(
+                IgnoreDirective(line, codes, justification, file_level)
+            )
+            continue
+        match = _ATOMIC_BEGIN_RE.search(text)
+        if match:
+            out.atomic_markers.append(AtomicMarker(line, "begin", match.group(1)))
+            continue
+        match = _ATOMIC_END_RE.search(text)
+        if match:
+            out.atomic_markers.append(AtomicMarker(line, "end", match.group(1)))
+            continue
+        match = _ATOMIC_FN_RE.search(text)
+        if match:
+            out.atomic_markers.append(
+                AtomicMarker(line, "function", reason=(match.group(1) or "").strip())
+            )
+            continue
+        out.malformed.append((line, f"unrecognised analysis directive: {text.strip()}"))
+    return out

@@ -372,6 +372,7 @@ def replicated_store_compare(
                     yield proxy.add(1.0, call_work)
                 runtime.cluster.host(proxy.ior.host).crash()
                 total = yield proxy.total()
+            # analysis: ignore[EXC002]: survival measurement — any failure counts as non-survival in the ablation row
             except Exception:
                 survived = False
                 total = None

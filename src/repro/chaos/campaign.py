@@ -35,6 +35,7 @@ from repro.chaos.scenarios import (
 )
 from repro.cluster.failures import FailurePlan
 from repro.core import Runtime, RuntimeConfig
+from repro.errors import SystemException
 from repro.ft import FtPolicy
 from repro.opt import (
     DecomposedRosenbrock,
@@ -275,6 +276,7 @@ def run_scenario(
             try:
                 yield acc_proxy.add(1.0, config.call_work)
                 ok += 1
+            # analysis: ignore[EXC002]: chaos client counts every failure type into the error histogram
             except Exception as exc:
                 failed += 1
                 errors[type(exc).__name__] = errors.get(type(exc).__name__, 0) + 1
@@ -285,6 +287,7 @@ def run_scenario(
             try:
                 final = yield acc_proxy.total()
                 break
+            # analysis: ignore[EXC002]: chaos client counts every failure type into the error histogram
             except Exception as exc:
                 errors[type(exc).__name__] = errors.get(type(exc).__name__, 0) + 1
                 yield sim.timeout(0.3)
@@ -315,6 +318,7 @@ def run_scenario(
             )
             result = yield from optimizer.optimize()
             opt_out.update(fun=float(result.fun), converged=bool(result.converged))
+        # analysis: ignore[EXC002]: outcome (incl. the error) is recorded; the scenario invariants judge it
         except Exception as exc:
             opt_out.update(error=f"{type(exc).__name__}: {exc}")
 
@@ -336,9 +340,9 @@ def run_scenario(
             if proxy._ft.buffered_checkpoints:
                 try:
                     yield proxy.checkpoint_now()
-                except Exception:
-                    pass  # store still down: the buffers stay, and the
-                    # stranded-buffer invariant reports it
+                # analysis: ignore[EXC003]: store still down — buffers stay and the stranded-buffer invariant reports them
+                except SystemException:
+                    pass
 
     started = sim.now
     runtime.run(drive())
@@ -603,6 +607,7 @@ def breaker_ablation(
                 try:
                     yield proxy.add(1.0, call_work)
                     ok += 1
+                # analysis: ignore[EXC002]: ablation client records any failure shape as a failed call
                 except Exception:
                     failed += 1
                 if not placements or placements[-1] != proxy.ior.host:
@@ -610,6 +615,7 @@ def breaker_ablation(
                 yield sim.timeout(0.12)
             try:
                 final = yield proxy.total()
+            # analysis: ignore[EXC002]: ablation client records any failure shape as a failed call
             except Exception:
                 final = None
             return ok, failed, final

@@ -271,6 +271,7 @@ class Network:
         for listener in list(self._drop_listeners):
             try:
                 listener(datagram)
+            # analysis: ignore[EXC002]: listener isolation — errors are counted and traced, one bad listener must not drop the rest
             except Exception as exc:  # noqa: BLE001 - listener isolation
                 self.drop_listener_errors += 1
                 self.sim.obs.metrics.counter(

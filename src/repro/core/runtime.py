@@ -213,8 +213,9 @@ class Runtime:
                 yield naming.bind_service(
                     to_name(self.config.factory_group), factory_ior
                 )
+            # analysis: ignore[EXC003]: naming unreachable during bind — the host re-binds when healed
             except (naming_idl.AlreadyBound, SystemException):
-                pass  # naming unreachable: host will re-bind when healed
+                pass
 
         # Host-bound: a crash before/while binding kills the process cleanly.
         host.spawn(bind(), name=f"bind-factory:{host.name}")

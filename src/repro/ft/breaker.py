@@ -99,6 +99,7 @@ class CircuitBreaker:
 
     # -- traffic decisions -----------------------------------------------------
 
+    # analysis: atomic: state read + probe-slot consumption must be one indivisible decision
     def allow(self) -> bool:
         """May a request be sent to this host right now?
 
@@ -128,12 +129,14 @@ class CircuitBreaker:
 
     # -- outcome reports --------------------------------------------------------
 
+    # analysis: atomic: breaker transitions may not interleave with other outcome reports
     def record_success(self) -> None:
         self._consecutive_failures = 0
         if self.state != CLOSED:
             self.closes += 1
             self._transition(CLOSED)
 
+    # analysis: atomic: breaker transitions may not interleave with other outcome reports
     def record_failure(self) -> None:
         state = self.state
         if state == HALF_OPEN:

@@ -114,6 +114,7 @@ def _migrate_steps(proxy, naming, target_host: str, old_ior):
         group = to_name(ft.group_name)
         try:
             yield naming.unbind_service(group, old_ior)
+        # analysis: ignore[EXC003]: best-effort unbind of the stale binding — the bind below re-converges the group
         except (naming_idl.NotFound, SystemException):
             pass
         try:
@@ -128,6 +129,7 @@ def _migrate_steps(proxy, naming, target_host: str, old_ior):
     if old_factory_ior is not None:
         try:
             yield orb.stub(old_factory_ior, ObjectFactoryStub).destroy_object(old_ior)
+        # analysis: ignore[EXC003]: best-effort retirement — the old host may be down, which is why we migrated
         except SystemException:
             pass
     return new_ior
@@ -193,7 +195,8 @@ class MigrationPolicy:
                         yield from migrate_service(self.proxy, self.naming, best)
                         self.manager.note_placement(best)
                         self.migrations += 1
+                    # analysis: ignore[EXC003]: failed migration leaves the service where it was — retried next round
                     except (RecoveryError, SystemException):
-                        continue  # try again next round
+                        continue
         except ProcessKilled:
             raise

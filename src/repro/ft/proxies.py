@@ -340,6 +340,10 @@ class _FtProxyBase:
             except Exception as exc:  # noqa: BLE001 - policy decides
                 self._note_persist_failure(exc)
                 return
+            # analysis: atomic-begin(pipelined-capture)
+            # Capture-to-enqueue must not yield: a second call's capture
+            # interleaving between reading the FIFO tail and appending would
+            # break the version ordering the store relies on.
             pending = self._prepare_checkpoint(state)
         ft._calls_since_checkpoint = 0
         if pending is None:
@@ -363,7 +367,7 @@ class _FtProxyBase:
         orb.host.spawn(
             self._persist_pipelined(pending, prev, started),
             name=f"ft-persist:{ft.key}",
-        )
+        )  # analysis: atomic-end(pipelined-capture)
 
     def _persist_pipelined(self, pending, prev_future, started):
         """Background half of a pipelined checkpoint.  Never lets an
@@ -406,6 +410,7 @@ class _FtProxyBase:
             error=type(exc).__name__,
         )
 
+    # analysis: atomic: version assignment + delta-base bookkeeping must be one indivisible step
     def _prepare_checkpoint(self, state) -> Optional[_PendingCheckpoint]:
         """Assign a version and (in delta mode) decide *what* to ship.
 
@@ -515,6 +520,7 @@ class _FtProxyBase:
                     "ft_checkpoints_flushed_total", service=ft.key
                 ).inc()
             yield from self._store_pending(pending)
+        # analysis: ignore[EXC003]: buffering IS the degraded-mode handling — the flush loop retries on the next checkpoint
         except SystemException as exc:
             ft.buffered_checkpoints.append((pending.version, pending.state))
             del ft.buffered_checkpoints[: -ft.policy.checkpoint_buffer_limit]

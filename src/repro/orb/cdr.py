@@ -999,6 +999,7 @@ def values_equal(a: Any, b: Any) -> bool:
         return all(values_equal(x, y) for x, y in zip(a, b))
     try:
         return bool(a == b)
+    # analysis: ignore[EXC002]: exotic __eq__ is treated as unequal — forces a full store, which is always safe
     except Exception:  # noqa: BLE001 - exotic __eq__, treat as unequal
         return False
 

@@ -39,6 +39,7 @@ from repro.errors import (
     OBJECT_NOT_EXIST,
     OBJ_ADAPTER,
     ProcessKilled,
+    SimulationError,
     SystemException,
     TIMEOUT,
     TRANSIENT,
@@ -638,12 +639,17 @@ class Orb:
                 return
             # A failed entry the opener has not discarded yet: re-open.
             cache.discard(key, entry)
+        # analysis: atomic-begin(connect-miss-to-open)
+        # No yield between deciding "miss" and registering the in-flight
+        # entry: a second caller slipping in here would open a duplicate
+        # handshake instead of joining this one.
         cache.bump("misses")
         entry = cache.begin(
             key,
             target.host,
             self.sim.future(label=f"conn:{target.host}:{target.port}"),
         )
+        # analysis: atomic-end(connect-miss-to-open)
         try:
             yield from self._handshake(target)
         except SystemException as exc:
@@ -700,7 +706,9 @@ class Orb:
         self._pending[request_id] = _Pending(inner, ior.host, "locate")
         try:
             self.network.send(self.host, self.port, ior.host, ior.port, raw, len(raw))
-        except Exception:
+        except SimulationError:
+            # own host crashed mid-probe or the peer name is unknown:
+            # treat as "object is not there" rather than a client error.
             self._pending.pop(request_id, None)
             outer.try_succeed(False)
             return
@@ -920,11 +928,13 @@ class Orb:
             stream.write_string(exc.__repo_id__)
             stream.write_value(type(exc).__tc__, exc.fields)
             reply_body = stream.getvalue()
+        # analysis: ignore[EXC003]: marshalled into the SYSTEM_EXCEPTION reply — propagates to the client
         except SystemException as exc:
             status = giop.ReplyStatus.SYSTEM_EXCEPTION
             reply_body = giop.encode_system_exception(exc)
         except ProcessKilled:
             raise
+        # analysis: ignore[EXC002]: CORBA-mandated mapping — a servant bug becomes an UNKNOWN reply
         except Exception as exc:  # noqa: BLE001 - servant bug -> UNKNOWN
             self.sim.trace.emit(
                 "orb",

@@ -14,6 +14,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Optional, TYPE_CHECKING
 
+from repro.errors import MARSHAL
 from repro.orb import giop
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -36,7 +37,7 @@ def _on_drop(network: "Network", datagram: "Datagram") -> None:
         return
     try:
         message = giop.decode_message(bytes(payload))
-    except Exception:
+    except MARSHAL:
         return  # not a GIOP datagram; nothing to synthesize
     if (
         isinstance(message, giop.RequestMessage) and message.response_expected
@@ -118,12 +119,14 @@ class ConnectionCache:
             f"orb_connection_cache_{counter}_total"
         ).inc()
 
+    # analysis: atomic: the hit path must stay yield-free — reuse adds zero scheduling points
     def lookup(self, key: tuple) -> Optional[_Connection]:
         entry = self._entries.get(key)
         if entry is not None:
             self._entries.move_to_end(key)
         return entry
 
+    # analysis: atomic: insert + LRU eviction happen before any joiner can observe the entry
     def begin(
         self, key: tuple, target_host: str, established: "SimFuture"
     ) -> _Connection:

@@ -266,6 +266,7 @@ class ResolveCache:
                 "naming_resolve_cache_invalidations_total", reason=reason
             ).inc()
 
+    # analysis: atomic: stale_served=0 holds only if validity checks and the serve are one step
     def lookup(self, group_name: str, candidates: Sequence[IOR]) -> Optional[IOR]:
         """A memoized selection, or None (= miss; caller scores afresh)."""
         entry = self._entries.get(group_name)
@@ -298,6 +299,7 @@ class ResolveCache:
         self._miss(group_name, "breaker")
         return None
 
+    # analysis: atomic: the entry must carry the epoch the ranking was computed under
     def store(
         self, group_name: str, candidates: Sequence[IOR], chosen: IOR
     ) -> None:

@@ -1,0 +1,35 @@
+"""Helpers shared by the static-analysis tests.
+
+Fixture modules under ``fixtures/`` contain *deliberate* violations; they
+are read as text and fed through :func:`repro.analysis.analyze_source`,
+never imported.  Line expectations are computed from inline markers so the
+tests assert exact lines without hard-coding brittle numbers.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def load_fixture(name: str) -> str:
+    return (FIXTURES / name).read_text(encoding="utf-8")
+
+
+def line_of(text: str, marker: str) -> int:
+    """1-based line of the unique line containing ``marker``."""
+    hits = [
+        index
+        for index, line in enumerate(text.splitlines(), start=1)
+        if marker in line
+    ]
+    assert len(hits) == 1, f"marker {marker!r} matched lines {hits}"
+    return hits[0]
+
+
+@pytest.fixture
+def fixture_text():
+    return load_fixture

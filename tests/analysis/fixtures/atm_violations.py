@@ -1,0 +1,28 @@
+"""Atomicity fixture: ATM001/ATM002 fire, scheduler handoff does not.
+
+Never imported — read as text by tests/analysis/test_atomicity.py.
+"""
+
+
+def slow_helper():
+    yield 1
+
+
+class Worker:
+    def _may_yield(self):
+        yield from slow_helper()
+
+    # analysis: atomic: fixture — deliberately calls a may-yield helper
+    def update_counters(self):
+        for _ in self._may_yield():  # MARK:ATM002
+            pass
+
+    def capture(self):
+        # analysis: atomic-begin(capture)
+        state = dict(self.__dict__)
+        yield 0  # MARK:ATM001
+        return state  # analysis: atomic-end(capture)
+
+    # analysis: atomic: handoff only constructs the generator; spawn runs it later
+    def schedule_refresh(self, host):
+        host.spawn(self._may_yield())  # MARK:deferred-ok

@@ -1,0 +1,34 @@
+"""Determinism fixture: every DET code fires at a marked line.
+
+Never imported — read as text by tests/analysis/test_determinism.py.
+"""
+
+import random
+import time
+import uuid
+
+
+def wall_clock():
+    return time.time()  # MARK:DET001
+
+
+def entropy():
+    token = uuid.uuid4()  # MARK:DET002-uuid
+    jitter = random.random()  # MARK:DET002-global
+    return token, jitter
+
+
+def ordering(items):
+    return sorted(items, key=id)  # MARK:DET003
+
+
+def leak():
+    members = {"a", "b", "c"}
+    return list(members)  # MARK:DET004
+
+
+def clean(sim, items):
+    now = sim.now
+    rng = sim.rng("jitter")
+    ordered = sorted({"a", "b"})
+    return now, rng, [m for m in ordered], sorted(items, key=str)

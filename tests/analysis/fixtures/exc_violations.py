@@ -1,0 +1,51 @@
+"""Exception-safety fixture: EXC001/EXC002/EXC003 fire at marked lines,
+and the recognised propagation idioms stay clean.
+
+Never imported — read as text by tests/analysis/test_exceptions.py.
+"""
+
+
+def swallow_everything(op):
+    try:
+        op()
+    except:  # MARK:EXC001  # noqa: E722
+        pass
+
+
+def swallow_broad(op):
+    try:
+        op()
+    except Exception:  # MARK:EXC002
+        return None
+
+
+def swallow_comm(op):
+    try:
+        op()
+    except COMM_FAILURE:  # MARK:EXC003  # noqa: F821
+        return None
+
+
+def reraises(op):
+    try:
+        op()
+    except Exception:  # MARK:reraise-ok
+        raise
+
+
+def sinks(op, future):
+    try:
+        op()
+    except Exception as exc:  # MARK:sink-ok
+        future.try_fail(exc)
+
+
+def quorum(ops):
+    last_error = None
+    for op in ops:
+        try:
+            op()
+        except COMM_FAILURE as exc:  # MARK:aggregate-ok  # noqa: F821
+            last_error = exc
+    if last_error is not None:
+        raise RuntimeError("no quorum") from last_error

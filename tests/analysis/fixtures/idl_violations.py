@@ -1,0 +1,33 @@
+"""IDL-conformance fixture: a servant missing an operation (IDL001), one
+with the wrong arity (IDL002), and an FT proxy that fails to intercept an
+operation (IDL003).
+
+Never imported — read as text by tests/analysis/test_idl_conformance.py.
+"""
+
+CALC_IDL = """
+module demo {
+    interface Calculator {
+        long add(in long a, in long b);
+        long sub(in long a, in long b);
+    };
+};
+"""
+
+
+class CalculatorSkeleton:
+    pass
+
+
+class CalculatorStub:
+    pass
+
+
+class BrokenCalculator(CalculatorSkeleton):  # MARK:IDL001
+    def add(self, a):  # MARK:IDL002
+        return a
+
+
+class CalculatorFtProxy(CalculatorStub):  # MARK:IDL003
+    def add(self, a, b):
+        return a + b

@@ -1,0 +1,24 @@
+"""Lock-order fixture: table_lock and journal_lock taken in both orders.
+
+The test also derives a consistent-order variant from this text (swapping
+the inner/outer locks in ``backward``) and asserts the cycle disappears.
+Never imported — read as text by tests/analysis/test_atomicity.py.
+"""
+
+
+class Shared:
+    def __init__(self):
+        self.table_lock = SimLock()  # noqa: F821 — AST-only fixture
+        self.journal_lock = SimLock()  # noqa: F821
+
+
+def forward(shared):
+    with shared.table_lock:
+        with shared.journal_lock:
+            pass
+
+
+def backward(shared):
+    with shared.journal_lock:  # MARK:outer-backward
+        with shared.table_lock:  # MARK:inner-backward
+            pass

@@ -1,0 +1,44 @@
+"""Determinism lint fires the exact code at the exact marked line."""
+
+from __future__ import annotations
+
+from repro.analysis import analyze_source
+
+from tests.analysis.conftest import line_of, load_fixture
+
+
+def _findings(text):
+    return analyze_source(text).findings
+
+
+def _at(findings, code):
+    return sorted(f.line for f in findings if f.code == code)
+
+
+def test_determinism_codes_and_lines():
+    text = load_fixture("det_violations.py")
+    findings = [f for f in _findings(text) if f.code.startswith("DET")]
+    assert _at(findings, "DET001") == [line_of(text, "MARK:DET001")]
+    assert _at(findings, "DET002") == [
+        line_of(text, "MARK:DET002-uuid"),
+        line_of(text, "MARK:DET002-global"),
+    ]
+    assert _at(findings, "DET003") == [line_of(text, "MARK:DET003")]
+    assert _at(findings, "DET004") == [line_of(text, "MARK:DET004")]
+
+
+def test_clean_function_produces_no_findings():
+    text = load_fixture("det_violations.py")
+    clean_start = line_of(text, "def clean(")
+    assert not [
+        f
+        for f in _findings(text)
+        if f.code.startswith("DET") and f.line >= clean_start
+    ]
+
+
+def test_messages_point_at_the_deterministic_alternative():
+    text = load_fixture("det_violations.py")
+    by_code = {f.code: f.message for f in _findings(text)}
+    assert "sim.now" in by_code["DET001"]
+    assert "sim.rng" in by_code["DET002"] or "seed" in by_code["DET002"]

@@ -1,0 +1,38 @@
+"""Exception-safety lint: the three EXC codes and the recognised
+propagation idioms (re-raise, failure sink, aggregate-then-raise)."""
+
+from __future__ import annotations
+
+from repro.analysis import Severity, analyze_source
+
+from tests.analysis.conftest import line_of, load_fixture
+
+
+def _exc_findings(text):
+    return [
+        f for f in analyze_source(text).findings if f.code.startswith("EXC")
+    ]
+
+
+def test_exc_codes_and_lines():
+    text = load_fixture("exc_violations.py")
+    found = {(f.code, f.line) for f in _exc_findings(text)}
+    assert ("EXC001", line_of(text, "MARK:EXC001")) in found
+    assert ("EXC002", line_of(text, "MARK:EXC002")) in found
+    assert ("EXC003", line_of(text, "MARK:EXC003")) in found
+
+
+def test_exc003_is_a_warning_not_an_error():
+    text = load_fixture("exc_violations.py")
+    exc003 = [f for f in _exc_findings(text) if f.code == "EXC003"]
+    assert exc003 and all(f.severity == Severity.WARNING for f in exc003)
+
+
+def test_propagation_idioms_are_clean():
+    text = load_fixture("exc_violations.py")
+    ok_lines = {
+        line_of(text, "MARK:reraise-ok"),
+        line_of(text, "MARK:sink-ok"),
+        line_of(text, "MARK:aggregate-ok"),
+    }
+    assert not [f for f in _exc_findings(text) if f.line in ok_lines]

@@ -1,0 +1,61 @@
+"""IDL conformance: AST-level servant/proxy checks on a fixture, plus the
+semantic proxy-coverage contract against the real IDL toolchain — deleting
+an FT-proxy method must fail the checker."""
+
+from __future__ import annotations
+
+from repro.analysis import analyze_source
+from repro.analysis.checkers.idlconf import check_proxy_coverage
+from repro.ft.proxies import make_ft_proxy
+from repro.orb.idl import compile_idl
+
+from tests.analysis.conftest import line_of, load_fixture
+
+PING_IDL = """
+module demo {
+    interface Ping {
+        long ping(in long x);
+        void touch();
+    };
+};
+"""
+
+
+def test_idl_codes_and_lines():
+    text = load_fixture("idl_violations.py")
+    found = {(f.code, f.line) for f in analyze_source(text).findings}
+    assert ("IDL001", line_of(text, "MARK:IDL001")) in found
+    assert ("IDL002", line_of(text, "MARK:IDL002")) in found
+    assert ("IDL003", line_of(text, "MARK:IDL003")) in found
+
+
+def test_idl001_names_the_missing_operation():
+    text = load_fixture("idl_violations.py")
+    idl001 = [
+        f for f in analyze_source(text).findings if f.code == "IDL001"
+    ]
+    assert idl001 and "Calculator.sub" in idl001[0].message
+
+
+def test_unparseable_idl_is_idl004():
+    snippet = 'BROKEN_IDL = """interface { nonsense'
+    snippet = snippet + ' }"""\n'
+    findings = analyze_source(snippet).findings
+    assert any(f.code == "IDL004" for f in findings)
+
+
+def test_generated_ft_proxy_covers_every_operation():
+    namespace = compile_idl(PING_IDL, name="ping_fixture")
+    stub_cls = namespace.PingStub
+    proxy_cls = make_ft_proxy(stub_cls)
+    assert check_proxy_coverage(stub_cls, proxy_cls) == []
+
+
+def test_deleting_an_ft_proxy_method_fails_coverage():
+    namespace = compile_idl(PING_IDL, name="ping_fixture_broken")
+    stub_cls = namespace.PingStub
+    proxy_cls = make_ft_proxy(stub_cls)
+    delattr(proxy_cls, "ping")
+    findings = check_proxy_coverage(stub_cls, proxy_cls, interface="Ping")
+    assert [f.code for f in findings] == ["IDL003"]
+    assert "Ping.ping" in findings[0].message

@@ -1,0 +1,82 @@
+"""Suppression machinery: inline directives, justification rules, and the
+fingerprint baseline (matching, staleness, strict exit codes)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import Baseline, BaselineError, analyze_source
+
+BROKEN = (
+    "def swallow(op):\n"
+    "    try:\n"
+    "        op()\n"
+    "    except Exception:\n"
+    "        return None\n"
+)
+
+
+def test_inline_ignore_with_justification_suppresses():
+    text = BROKEN.replace(
+        "except Exception:",
+        "except Exception:  # analysis: ignore[EXC002]: fixture — swallow is the contract",
+    )
+    result = analyze_source(text)
+    assert not [f for f in result.findings if f.code == "EXC002"]
+    assert [f.code for f in result.suppressed] == ["EXC002"]
+
+
+def test_ignore_directive_on_the_line_above_also_applies():
+    text = BROKEN.replace(
+        "    except Exception:",
+        "    # analysis: ignore[EXC002]: fixture — swallow is the contract\n"
+        "    except Exception:",
+    )
+    result = analyze_source(text)
+    assert not [f for f in result.findings if f.code == "EXC002"]
+
+
+def test_unjustified_ignore_is_rejected_and_does_not_suppress():
+    text = BROKEN.replace(
+        "except Exception:",
+        "except Exception:  # analysis: ignore[EXC002]: TODO later",
+    )
+    result = analyze_source(text)
+    codes = [f.code for f in result.findings]
+    assert "ANA001" in codes  # the malformed directive itself
+    assert "EXC002" in codes  # ...and the finding it failed to silence
+
+
+def test_baseline_round_trip_and_staleness(tmp_path):
+    result = analyze_source(BROKEN)
+    assert result.findings
+    rendered = Baseline.render(
+        result.findings, justification="fixture: provably benign"
+    )
+    path = tmp_path / "analysis-baseline.json"
+    path.write_text(rendered, encoding="utf-8")
+    baseline = Baseline.load(path)
+
+    # Every finding matches its baseline entry -> nothing actionable.
+    assert all(baseline.matches(f) for f in result.findings)
+
+    # A clean tree leaves the entries unmatched -> stale, strict fails.
+    clean = analyze_source("def fine():\n    return 1\n")
+    assert baseline.unmatched(set()) == baseline.entries
+    assert clean.exit_code(strict=False) == 0
+
+
+def test_baseline_rejects_todo_justifications(tmp_path):
+    rendered = Baseline.render(analyze_source(BROKEN).findings)
+    path = tmp_path / "analysis-baseline.json"
+    path.write_text(rendered, encoding="utf-8")
+    with pytest.raises(BaselineError):
+        Baseline.load(path)
+
+
+def test_fingerprints_survive_line_drift():
+    shifted = "\n\n\n" + BROKEN
+    original = analyze_source(BROKEN).findings
+    moved = analyze_source(shifted).findings
+    assert {f.fingerprint for f in original} == {f.fingerprint for f in moved}
+    assert {f.line for f in original} != {f.line for f in moved}
