@@ -1,0 +1,140 @@
+"""Observability overhead: spans and the kernel profiler must be cheap.
+
+Three runs of the same recovery scenario (the ``bench_recovery`` cell:
+checkpointed accumulator stream, one mid-run host crash):
+
+* ``obs-off``       — tracer disabled, no profiler;
+* ``spans``         — tracing on (the default), profiler *not installed*
+                      (the kernel's disabled-mode fast path);
+* ``spans+profiler``— tracing on and a :class:`SimProfiler` attached.
+
+The hard claim is correctness, not speed: the profiler is strictly
+observational, so the *simulated* results (simulated runtime, recovery
+time, final total) must be bit-identical across all three modes.  Host
+wall time per mode is reported as ``bench_wall_*`` metrics — the loose
+regression-gate lane — with only a very generous sanity bound asserted,
+because wall time jitters across machines.
+"""
+
+import time
+
+from repro.bench import format_table
+from repro.bench.ftbench import AccumulatorImpl, _runtime, ns
+
+CALLS = 40
+CALL_WORK = 0.05
+FAILURES = 1
+SEED = 17
+
+
+def _run_cell(mode):
+    """One recovery cell; returns simulated + wall measurements."""
+    from repro.obs.profile import SimProfiler
+
+    runtime = _runtime(num_hosts=7, seed=SEED)
+    if mode == "obs-off":
+        runtime.obs.tracer.enabled = False
+    ior = runtime.orb(1).poa.activate(AccumulatorImpl())
+    proxy = runtime.ft_proxy(
+        ns.BenchAccumulatorStub, ior, key="acc", type_name="BenchAccumulator"
+    )
+
+    def crash_current():
+        host = proxy.ior.host
+        if host != "ws00":
+            runtime.cluster.host(host).crash()
+
+    span = CALLS * CALL_WORK * 1.6
+    for index in range(FAILURES):
+        at = runtime.sim.now + span * (index + 1) / (FAILURES + 1)
+        runtime.sim.schedule_at(at, crash_current)
+
+    def client():
+        start = runtime.sim.now
+        for _ in range(CALLS):
+            yield proxy.add(1.0, CALL_WORK)
+        final = yield proxy.total()
+        return runtime.sim.now - start, final
+
+    prof = None
+    if mode == "spans+profiler":
+        prof = SimProfiler(runtime.sim).install()
+    spans_before = len(runtime.obs.tracer.spans)
+    wall0 = time.perf_counter()
+    elapsed, final = runtime.run(client())
+    wall = time.perf_counter() - wall0
+    if prof is not None:
+        prof.uninstall()
+
+    return {
+        "mode": mode,
+        "wall": wall,
+        "elapsed": elapsed,
+        "final": final,
+        "recovery_time": runtime.coordinator(0).recovery_time_total,
+        "spans": len(runtime.obs.tracer.spans) - spans_before,
+        "events_per_sec": prof.events_per_second if prof else None,
+    }
+
+
+def obs_overhead_bench():
+    return [_run_cell(mode) for mode in ("obs-off", "spans", "spans+profiler")]
+
+
+def test_obs_overhead(benchmark, save_result, export_bench_metrics):
+    rows = benchmark.pedantic(obs_overhead_bench, rounds=1, iterations=1)
+    base = rows[0]
+
+    # The contract: observability never perturbs the simulation.
+    for row in rows[1:]:
+        assert row["elapsed"] == base["elapsed"], row["mode"]
+        assert row["final"] == base["final"], row["mode"]
+        assert row["recovery_time"] == base["recovery_time"], row["mode"]
+    assert base["spans"] == 0  # disabled tracer records nothing new
+    assert rows[1]["spans"] == rows[2]["spans"] > 0
+
+    # Wall-time sanity only — generous bounds, wall time is machine noise.
+    assert rows[1]["wall"] < base["wall"] * 3.0
+    assert rows[2]["wall"] < base["wall"] * 5.0
+
+    text = format_table(
+        ["mode", "wall [s]", "overhead", "sim runtime [s]", "spans",
+         "events/s"],
+        [
+            [
+                row["mode"],
+                f"{row['wall']:.3f}",
+                f"{row['wall'] / base['wall'] - 1:+.1%}",
+                f"{row['elapsed']:.3f}",
+                row["spans"],
+                "-" if row["events_per_sec"] is None
+                else f"{row['events_per_sec']:,.0f}",
+            ]
+            for row in rows
+        ],
+        title=(
+            f"Observability overhead ({CALLS} calls, {FAILURES} failure, "
+            "simulated results bit-identical across modes)"
+        ),
+    )
+
+    save_result("obs_overhead", text, {"rows": rows})
+    export_bench_metrics(
+        "obs_overhead",
+        {
+            "bench_wall_seconds": [
+                ({"mode": row["mode"]}, row["wall"]) for row in rows
+            ],
+            "bench_wall_overhead_percent": [
+                ({"mode": row["mode"]},
+                 100.0 * (row["wall"] / base["wall"] - 1))
+                for row in rows[1:]
+            ],
+            "bench_runtime_seconds": [
+                ({"mode": row["mode"]}, row["elapsed"]) for row in rows
+            ],
+            "sim_events_per_sec": [
+                ({"mode": "spans+profiler"}, rows[2]["events_per_sec"])
+            ],
+        },
+    )

@@ -5,7 +5,9 @@ pinned benchmark gates — is only trustworthy because a simulation run is a
 pure function of its seed.  This checker flags the ways wall-clock time and
 process-salted entropy leak into simulated code:
 
-DET001  wall-clock reads (``time.time``, ``datetime.now``, ...);
+DET001  wall-clock reads (``time.time``, ``datetime.now``, ...), both
+        direct calls and references that capture the function as a value
+        (``clock = time.perf_counter``);
 DET002  unseeded / process-global randomness (bare ``random.*``,
         ``numpy.random.*`` module-level state, ``uuid4``, ``os.urandom``);
 DET003  ``id()`` / ``hash()`` used as an ordering key (both are salted or
@@ -15,8 +17,11 @@ DET004  iterating a ``set`` where order can leak into results (string
 
 Scope: the deterministic core (``sim``, ``cluster``, ``orb``, ``ft``,
 ``winner``, ``services``, ``chaos``) plus ``obs`` — exporters that
-legitimately stamp wall-clock metadata carry inline
-``# analysis: ignore[DET001]: ...`` allowlist entries.
+legitimately stamp wall-clock metadata, and the kernel profiler in
+``repro.obs.profile`` whose whole point is measuring host CPU cost (its
+reads are observational only: no value ever feeds back into simulated
+state), carry inline ``# analysis: ignore[DET001]: ...`` allowlist
+entries with the justification.
 """
 
 from __future__ import annotations
@@ -124,6 +129,7 @@ class DeterminismChecker(Checker):
             if isinstance(node, ast.Call):
                 findings.extend(self._check_call(source, node))
             findings.extend(self._check_sort_key(source, node))
+        findings.extend(self._check_clock_references(source, parents))
         findings.extend(self._check_set_iteration(source, parents))
         return findings
 
@@ -190,6 +196,42 @@ class DeterminismChecker(Checker):
                 source,
                 node,
             )
+
+    def _check_clock_references(
+        self, source: SourceFile, parents: dict[ast.AST, ast.AST]
+    ) -> Iterable[Finding]:
+        """DET001 for wall-clock functions captured as *values*.
+
+        ``clock = time.perf_counter`` smuggles the wall clock past the
+        call check — the read happens later, at an uncheckable site (a
+        default argument, an injected callback, a dispatch table).  Flag
+        the reference itself; legitimate captures (the profiler's
+        injectable host clock) carry the same justified
+        ``# analysis: ignore[DET001]`` directive a direct call would.
+        """
+        for node in ast.walk(source.tree):
+            if not isinstance(node, (ast.Attribute, ast.Name)):
+                continue
+            parent = parents.get(node)
+            if isinstance(parent, ast.Call) and parent.func is node:
+                continue  # a direct call; _check_call covers it
+            if isinstance(parent, ast.Attribute):
+                continue  # inner link of a longer dotted chain
+            if isinstance(node, ast.Name) and not isinstance(
+                getattr(node, "ctx", None), ast.Load
+            ):
+                continue
+            fullname = source.resolve_call_name(node)
+            if fullname in _WALL_CLOCK and fullname != (
+                node.id if isinstance(node, ast.Name) else None
+            ):
+                yield self.finding(
+                    "DET001",
+                    f"reference to {fullname} captures the wall clock as a "
+                    "value; simulated code must derive time from sim.now",
+                    source,
+                    node,
+                )
 
     # -- DET003 ------------------------------------------------------------------
 

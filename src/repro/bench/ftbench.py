@@ -397,6 +397,7 @@ def recovery_bench(
     failure_counts: Sequence[int] = (0, 1, 2),
     calls: int = 40,
     call_work: float = 0.05,
+    capture: Optional[list] = None,
     **runtime_kwargs,
 ) -> list[AblationRow]:
     """Failure injection: runtime, recovery count and state correctness.
@@ -404,10 +405,15 @@ def recovery_bench(
     The correct final total is ``calls`` regardless of crashes — checkpoint
     restore plus call retry must never lose or duplicate an update.
     ``runtime_kwargs`` forward to :class:`RuntimeConfig` (e.g. the resolve
-    fast-path knobs for an optimized-mode recovery column)."""
+    fast-path knobs for an optimized-mode recovery column).  ``capture``
+    (a list) receives each cell's finished :class:`Runtime`, so callers
+    can post-analyze the traces — the critical-path validation against
+    the pinned recovery golden rides on this."""
     rows = []
     for failures in failure_counts:
         runtime = _runtime(num_hosts=7, **runtime_kwargs)
+        if capture is not None:
+            capture.append(runtime)
         ior = runtime.orb(1).poa.activate(AccumulatorImpl())
         proxy = runtime.ft_proxy(
             ns.BenchAccumulatorStub, ior, key="acc", type_name="BenchAccumulator"

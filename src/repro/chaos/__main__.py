@@ -63,6 +63,12 @@ def main(argv=None) -> int:
         help="enable the naming resolve cache (checks the no-stale-resolve "
         "invariant under chaos)",
     )
+    parser.add_argument(
+        "--enforce-slos",
+        action="store_true",
+        help="count SLO failures (repro.obs.slo.DEFAULT_SLOS) as invariant "
+        "violations instead of just recording them",
+    )
     args = parser.parse_args(argv)
 
     scenarios = tuple(s for s in args.scenarios.split(",") if s.strip())
@@ -73,6 +79,7 @@ def main(argv=None) -> int:
     config.checkpoint_mode = args.checkpoint_mode
     config.checkpoint_deltas = args.deltas
     config.resolve_cache = args.resolve_cache
+    config.enforce_slos = args.enforce_slos
 
     def progress(report):
         status = "ok" if report.ok else "FAIL"

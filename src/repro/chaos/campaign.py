@@ -37,6 +37,7 @@ from repro.cluster.failures import FailurePlan
 from repro.core import Runtime, RuntimeConfig
 from repro.errors import SystemException
 from repro.ft import FtPolicy
+from repro.obs.slo import DEFAULT_SLOS, evaluate_slos, export_slo_metrics
 from repro.opt import (
     DecomposedRosenbrock,
     DistributedRosenbrockOptimizer,
@@ -75,6 +76,10 @@ class CampaignConfig:
     #: resolve fast path under chaos: the cache must never serve a
     #: selection on a dead host (the no-stale-resolve invariant).
     resolve_cache: bool = False
+    #: SLO gating: failures are always *recorded* per cell (and exported
+    #: as ``slo_ok`` gauges); with ``enforce_slos`` they also count as
+    #: invariant violations and fail the campaign.
+    enforce_slos: bool = False
 
     @classmethod
     def fast(cls, seeds: Sequence[int] = (11, 12, 13)) -> "CampaignConfig":
@@ -160,6 +165,8 @@ class ScenarioReport:
     resolve_cache_hits: int = 0
     resolve_cache_misses: int = 0
     resolve_stale_served: int = 0
+    # SLOs (evaluated from the metrics registry at harvest time)
+    slo_failures: list = field(default_factory=list)
     # plumbing
     drop_listener_errors: int = 0
     chaos_events: list = field(default_factory=list)
@@ -398,6 +405,11 @@ def run_scenario(
         report.resolve_cache_hits = naming.resolve_cache.stats.hits
         report.resolve_cache_misses = naming.resolve_cache.stats.misses
         report.resolve_stale_served = naming.resolve_cache.stats.stale_served
+    slo_results = evaluate_slos(metrics.snapshot(), DEFAULT_SLOS)
+    export_slo_metrics(metrics, slo_results)
+    report.slo_failures = [
+        f"{r.spec.name}: {r.detail}" for r in slo_results if not r.ok
+    ]
     report.drop_listener_errors = runtime.network.drop_listener_errors
     report.chaos_events = list(runtime.failures.chaos_events) + [
         {"kind": "crash-restart", "host": p.host, "at": p.crash_at,
@@ -405,6 +417,8 @@ def run_scenario(
         for p in runtime.failures.injected
     ]
     report.violations = check_report(report)
+    if config.enforce_slos:
+        report.violations += [f"slo: {f}" for f in report.slo_failures]
     return report
 
 
@@ -487,6 +501,9 @@ def export_campaign_metrics(result: CampaignResult, registry) -> None:
         )
         registry.gauge("chaos_resolve_stale_served", **labels).set(
             r.resolve_stale_served
+        )
+        registry.gauge("chaos_slo_failures", **labels).set(
+            len(r.slo_failures)
         )
 
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.bench.reporting import format_table
+from repro.obs.slo import slo_report
 from repro.orb import cdr
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -154,6 +155,7 @@ def runtime_report(runtime: "Runtime") -> dict:
         "winner_reports": winner_reports,
         "cdr_plan_cache": cdr.plan_cache_stats(),
         "observability": sim.obs.report(),
+        "slo": slo_report(sim.obs.metrics.snapshot()),
     }
 
 
@@ -278,9 +280,27 @@ def format_runtime_report(report: dict) -> str:
         )
     obs = report.get("observability")
     if obs:
-        sections.append(
+        line = (
             f"Observability: {obs['metrics']} metric series, "
             f"{obs['spans_finished']} spans across {obs['traces']} traces "
-            f"({obs['spans_open']} open, {obs['spans_dropped']} dropped)"
+            f"({obs['spans_open']} open, {obs['spans_dropped']} dropped, "
+            f"ring {obs.get('span_ring_utilization', 0.0):.1%} of "
+            f"{obs.get('span_capacity', 0)})"
         )
+        if obs["spans_dropped"]:
+            line += (
+                " — WARNING: the span ring wrapped; traces are truncated "
+                "and critical-path analysis will refuse them"
+            )
+        sections.append(line)
+    slo = report.get("slo")
+    if slo and slo["checked"]:
+        line = (
+            f"SLOs: {slo['checked'] - slo['failed'] - slo['skipped']} ok, "
+            f"{slo['failed']} failed, {slo['skipped']} skipped"
+        )
+        for result in slo["results"]:
+            if not result["ok"]:
+                line += f"\n  FAIL {result['slo']}: {result['detail']}"
+        sections.append(line)
     return "\n\n".join(sections)

@@ -1,0 +1,364 @@
+"""``python -m repro.obs`` — profile, critical-path and SLO/regression CLI.
+
+Three subcommands, all built on a short deterministic fault-tolerance
+scenario (the ``bench_recovery`` cell: a checkpointed accumulator stream
+with optional mid-run host crashes, ``num_hosts=7``, ``seed=17``):
+
+* ``profile`` — run the scenario under :class:`repro.obs.profile.SimProfiler`
+  and print host-side kernel throughput (events/sec), per-site and
+  per-process attribution, heap depth; optional folded-stack, Chrome
+  ``trace_event`` and JSON exports.
+* ``critical-path`` — reconstruct the causal span tree of the scenario's
+  recovery episode (or last client request) and print the segment
+  timeline plus the per-component breakdown.
+* ``check`` — the regression gate: compare a metrics snapshot (freshly
+  generated, or ``--current FILE``) against a pinned
+  ``benchmarks/results/BENCH_*.json`` baseline and exit non-zero on
+  regression beyond tolerance (``--report-only`` downgrades to exit 0,
+  the CI bootstrap mode).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Optional
+
+
+# -- the quick scenario ----------------------------------------------------------
+
+
+def _quick_cell(
+    calls: int,
+    call_work: float,
+    failures: int,
+    seed: int,
+    profiler: Any = None,
+):
+    """One ``bench_recovery`` cell; returns (runtime, elapsed, final).
+
+    Mirrors :func:`repro.bench.ftbench.recovery_bench` exactly (same
+    runtime shape, crash schedule and client), so the simulated results
+    line up with the pinned ``BENCH_recovery.json`` golden; ``profiler``
+    (a :class:`~repro.obs.profile.SimProfiler` factory taking the sim)
+    is installed around the measured run only.
+    """
+    from repro.bench.ftbench import AccumulatorImpl, _runtime, ns
+
+    runtime = _runtime(num_hosts=7, seed=seed)
+    ior = runtime.orb(1).poa.activate(AccumulatorImpl())
+    proxy = runtime.ft_proxy(
+        ns.BenchAccumulatorStub, ior, key="acc", type_name="BenchAccumulator"
+    )
+
+    def crash_current():
+        host = proxy.ior.host
+        if host != "ws00":
+            runtime.cluster.host(host).crash()
+
+    span = calls * call_work * 1.6
+    for index in range(failures):
+        at = runtime.sim.now + span * (index + 1) / (failures + 1)
+        runtime.sim.schedule_at(at, crash_current)
+
+    def client():
+        start = runtime.sim.now
+        for _ in range(calls):
+            yield proxy.add(1.0, call_work)
+        final = yield proxy.total()
+        return runtime.sim.now - start, final
+
+    prof = profiler(runtime.sim) if profiler is not None else None
+    if prof is not None:
+        prof.install()
+    try:
+        elapsed, final = runtime.run(client())
+    finally:
+        if prof is not None:
+            prof.uninstall()
+    return runtime, prof, elapsed, final
+
+
+def _write(path: str, text: str) -> None:
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(text)
+    print(f"wrote {path}")
+
+
+# -- profile ---------------------------------------------------------------------
+
+
+def _cmd_profile(args) -> int:
+    from repro.obs.profile import SimProfiler
+    from repro.obs.slo import DEFAULT_SLOS, evaluate_slos
+
+    runtime, prof, elapsed, final = _quick_cell(
+        args.calls, args.work, args.failures, args.seed,
+        profiler=lambda sim: SimProfiler(sim),
+    )
+    assert prof is not None
+    summary = prof.summary(top=args.top)
+    print(
+        f"profiled {summary['events']} events / "
+        f"{summary['process_steps']} process steps in "
+        f"{summary['wall_seconds']:.3f}s wall "
+        f"({summary['sim_seconds']:.3f}s simulated, "
+        f"{args.calls} calls, {args.failures} failure(s), "
+        f"final total {final})"
+    )
+    print(
+        f"throughput: {summary['events_per_second']:,.0f} events/s; "
+        f"heap depth max {summary['heap_depth_max']} "
+        f"mean {summary['heap_depth_mean']:.1f}; "
+        f"timeline dropped {summary['timeline_dropped']}"
+    )
+    print("\ntop event-callback sites (exclusive wall):")
+    for site in summary["callback_sites"]:
+        print(
+            f"  {site['wall_seconds'] * 1e3:>9.3f} ms  "
+            f"{site['count']:>7}x  {site['site']}"
+        )
+    print("\ntop process step sites:")
+    for site in summary["step_sites"]:
+        print(
+            f"  {site['wall_seconds'] * 1e3:>9.3f} ms  "
+            f"{site['count']:>7}x  {site['site']}"
+        )
+
+    # publish throughput into the run's registry so SLOs can see it
+    registry = runtime.obs.metrics
+    for name, value in prof.bench_metrics().items():
+        registry.gauge(name).set(value)
+    results = evaluate_slos(registry.snapshot(), DEFAULT_SLOS)
+    print("\nSLOs:")
+    for result in results:
+        status = "skip" if result.skipped else ("ok" if result.ok else "FAIL")
+        value = "-" if result.value is None else f"{result.value:.6g}"
+        print(f"  [{status:>4}] {result.spec.name:<24} {value}")
+
+    if args.folded:
+        _write(args.folded, prof.folded_stacks(weight=args.weight))
+    if args.chrome:
+        _write(args.chrome, json.dumps(prof.chrome_trace(), indent=2) + "\n")
+    if args.json:
+        _write(args.json, json.dumps(summary, indent=2) + "\n")
+    if args.bench_json:
+        from repro.obs import MetricsRegistry
+
+        bench = MetricsRegistry()
+        for name, value in prof.bench_metrics().items():
+            bench.gauge(name).set(value)
+        bench.gauge("bench_recovery_time_seconds",
+                    failures=str(args.failures)).set(
+            runtime.coordinator(0).recovery_time_total
+        )
+        _write(args.bench_json, json.dumps(bench.snapshot(), indent=2) + "\n")
+    return 0 if all(r.ok for r in results) or args.report_only else 1
+
+
+# -- critical-path ------------------------------------------------------------------
+
+
+def _cmd_critical_path(args) -> int:
+    from repro.obs import critical_path as cp
+
+    if args.spans:
+        from repro.obs.exporters import parse_jsonl
+
+        records = parse_jsonl(Path(args.spans).read_text())
+        if not records:
+            print(f"error: {args.spans} holds no spans", file=sys.stderr)
+            return 2
+        trace_id = args.trace or records[-1]["trace_id"]
+        spans = [r for r in records if r["trace_id"] == trace_id]
+        try:
+            path = cp.analyze(spans, root=args.root)
+        except cp.CriticalPathError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    else:
+        failures = max(1, args.failures) if args.target == "recovery" else 0
+        runtime, _, _, _ = _quick_cell(args.calls, args.work, failures, args.seed)
+        tracer = runtime.obs.tracer
+        try:
+            if args.target == "recovery":
+                path = cp.recovery_path(tracer)
+            else:
+                path = cp.request_path(tracer, operation="add")
+        except cp.CriticalPathError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    print(path.format())
+    if args.json:
+        _write(args.json, json.dumps(path.to_dict(), indent=2) + "\n")
+    return 0
+
+
+# -- check -----------------------------------------------------------------------
+
+
+def _generate_current(args) -> list[dict]:
+    """A fresh snapshot in BENCH_recovery shape from the quick scenario."""
+    from repro.obs import MetricsRegistry
+    from repro.obs.profile import SimProfiler
+
+    registry = MetricsRegistry()
+    for failures in (0, 1):
+        runtime, prof, elapsed, final = _quick_cell(
+            args.calls, args.work, failures, args.seed,
+            profiler=lambda sim: SimProfiler(sim),
+        )
+        labels = {"failures": str(failures)}
+        coordinator = runtime.coordinator(0)
+        registry.gauge("bench_recoveries", **labels).set(
+            coordinator.recoveries
+        )
+        registry.gauge("bench_recovery_time_seconds", **labels).set(
+            coordinator.recovery_time_total
+        )
+        registry.gauge("bench_runtime_seconds", **labels).set(elapsed)
+        registry.gauge("bench_state_correct", **labels).set(
+            1.0 if abs(final - args.calls) < 1e-9 else 0.0
+        )
+        assert prof is not None
+        for name, value in prof.bench_metrics().items():
+            registry.gauge(name, **labels).set(value)
+    return registry.snapshot()
+
+
+def _cmd_check(args) -> int:
+    from repro.obs.slo import compare_snapshots, format_deltas, regressions
+
+    baseline_path = Path(args.baseline)
+    if not baseline_path.exists():
+        print(f"error: baseline {args.baseline} not found", file=sys.stderr)
+        return 2
+    baseline = json.loads(baseline_path.read_text())
+
+    if args.current:
+        current_path = Path(args.current)
+        if not current_path.exists():
+            print(f"error: current {args.current} not found", file=sys.stderr)
+            return 2
+        current = json.loads(current_path.read_text())
+        source = args.current
+    else:
+        print("generating current snapshot from the quick recovery scenario…")
+        current = _generate_current(args)
+        source = "quick scenario"
+
+    deltas = compare_snapshots(
+        current, baseline,
+        tolerance=args.tolerance,
+        wall_tolerance=args.wall_tolerance,
+    )
+    bad = regressions(deltas)
+    print(
+        f"baseline {args.baseline} vs current ({source}): "
+        f"{len(deltas)} gated metrics, {len(bad)} regressed"
+    )
+    print(format_deltas(deltas, all_rows=args.verbose))
+    if args.json:
+        _write(
+            args.json,
+            json.dumps([d.to_dict() for d in deltas], indent=2) + "\n",
+        )
+    if bad and args.report_only:
+        print("report-only mode: regressions reported, exit 0")
+        return 0
+    return 1 if bad else 0
+
+
+# -- argument wiring --------------------------------------------------------------
+
+
+def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--calls", type=int, default=40,
+                        help="accumulator calls in the scenario (default 40)")
+    parser.add_argument("--work", type=float, default=0.05,
+                        help="simulated CPU work per call (default 0.05s)")
+    parser.add_argument("--seed", type=int, default=17,
+                        help="simulation seed (default 17, the bench pin)")
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Profiling, critical-path analysis and SLO/regression "
+        "gating for the runtime.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser(
+        "profile",
+        help="profile the sim kernel on a quick FT scenario",
+    )
+    _add_scenario_args(p)
+    p.add_argument("--failures", type=int, default=1,
+                   help="host crashes to inject (default 1)")
+    p.add_argument("--top", type=int, default=10,
+                   help="attribution rows to print (default 10)")
+    p.add_argument("--weight", choices=("wall", "events"), default="wall",
+                   help="folded-stack weight (default wall microseconds)")
+    p.add_argument("--folded", metavar="PATH",
+                   help="write flamegraph folded stacks")
+    p.add_argument("--chrome", metavar="PATH",
+                   help="write the profiler timeline as Chrome trace_event")
+    p.add_argument("--json", metavar="PATH", help="write the profile summary")
+    p.add_argument("--bench-json", metavar="PATH",
+                   help="write headline numbers as a BENCH-style snapshot")
+    p.add_argument("--report-only", action="store_true",
+                   help="exit 0 even when an SLO fails")
+    p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser(
+        "critical-path",
+        help="critical path of a recovery episode or client request",
+    )
+    _add_scenario_args(p)
+    p.add_argument("--target", choices=("recovery", "request"),
+                   default="recovery",
+                   help="analyze the recovery episode (default) or the "
+                   "last client request")
+    p.add_argument("--failures", type=int, default=1,
+                   help="host crashes to inject (default 1)")
+    p.add_argument("--spans", metavar="JSONL",
+                   help="analyze an exported span file instead of running "
+                   "the scenario (assumed complete: eviction counters are "
+                   "not recorded in JSONL)")
+    p.add_argument("--trace", metavar="ID",
+                   help="trace id inside --spans (default: last)")
+    p.add_argument("--root", metavar="NAME",
+                   help="root span name inside --spans (e.g. ft:recover)")
+    p.add_argument("--json", metavar="PATH", help="write the analyzed path")
+    p.set_defaults(func=_cmd_critical_path)
+
+    p = sub.add_parser(
+        "check",
+        help="regression-gate a snapshot against a pinned BENCH baseline",
+    )
+    _add_scenario_args(p)
+    p.add_argument("--baseline", required=True, metavar="PATH",
+                   help="pinned snapshot (e.g. "
+                   "benchmarks/results/BENCH_recovery.json)")
+    p.add_argument("--current", metavar="PATH",
+                   help="snapshot to check (default: regenerate from the "
+                   "quick recovery scenario)")
+    p.add_argument("--tolerance", type=float, default=0.05,
+                   help="relative tolerance for simulated metrics "
+                   "(default 0.05)")
+    p.add_argument("--wall-tolerance", type=float, default=0.5,
+                   help="relative tolerance for wall-clock metrics "
+                   "(default 0.5)")
+    p.add_argument("--report-only", action="store_true",
+                   help="report regressions but exit 0 (CI bootstrap mode)")
+    p.add_argument("--verbose", action="store_true",
+                   help="print every gated metric, not just regressions")
+    p.add_argument("--json", metavar="PATH", help="write the delta rows")
+    p.set_defaults(func=_cmd_check)
+
+    args = parser.parse_args(argv)
+    return args.func(args)

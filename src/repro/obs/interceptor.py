@@ -48,6 +48,7 @@ class ObservabilityInterceptor(RequestInterceptor):
             request_id=info.request_id,
             target=info.target.host if info.target is not None else "",
         )
+        span.attrs.update(info.attrs)
         info.service_contexts.append(
             (TRACE_CONTEXT_SERVICE_ID, span.context.encode())
         )
@@ -65,6 +66,7 @@ class ObservabilityInterceptor(RequestInterceptor):
     def receive_reply(self, info: RequestInfo) -> None:
         span = self._client_spans.pop(info.request_id, None)
         if span is not None:
+            span.attrs.update(info.attrs)
             span.finish()
 
     def receive_exception(self, info: RequestInfo) -> None:
@@ -103,5 +105,6 @@ class ObservabilityInterceptor(RequestInterceptor):
         span = tracer.open_span(tracer.current)
         if span is not None and span.name == f"serve:{info.operation}":
             span.set_attr("reply_bytes", info.body_size)
+            span.attrs.update(info.attrs)
             span.finish()
             tracer.set_current(None)

@@ -424,6 +424,7 @@ class Orb:
                     target=target,
                     body_size=len(body),
                     response_expected=not info.oneway,
+                    attrs={"request_marshal_work": self._marshal_work(len(body))},
                 )
                 self._intercept("send_request", send_info)
                 service_contexts = tuple(send_info.service_contexts)
@@ -564,13 +565,17 @@ class Orb:
         operation: str,
         request_id: int,
         exception: Optional[BaseException],
+        attrs: Optional[dict] = None,
     ) -> None:
         if not self.interceptors:
             return
         from repro.orb.interceptors import RequestInfo
 
         info = RequestInfo(
-            operation=operation, request_id=request_id, exception=exception
+            operation=operation,
+            request_id=request_id,
+            exception=exception,
+            attrs=attrs or {},
         )
         self._intercept(
             "receive_reply" if exception is None else "receive_exception", info
@@ -587,6 +592,10 @@ class Orb:
             self._intercept_outcome(info.name, request_id, exc)
             outer.try_fail(exc)
 
+        # The reply-unmarshal CPU charge (paid just before this call, in
+        # _invoke_proc) lands *inside* the client span; tag it so the
+        # critical-path analyzer can split marshalling out of transport.
+        unmarshal = {"unmarshal_work": self._marshal_work(len(reply.body))}
         if reply.status is giop.ReplyStatus.NO_EXCEPTION:
             stream = CdrInputStream(reply.body)
             try:
@@ -594,7 +603,7 @@ class Orb:
             except CdrError as exc:
                 fail(MARSHAL(f"bad reply body for {info.name}: {exc}"))
                 return
-            self._intercept_outcome(info.name, request_id, None)
+            self._intercept_outcome(info.name, request_id, None, attrs=unmarshal)
             outer.try_succeed(result)
         elif reply.status is giop.ReplyStatus.USER_EXCEPTION:
             stream = CdrInputStream(reply.body)
@@ -964,6 +973,9 @@ class Orb:
                     request_id=message.request_id,
                     object_key=message.object_key,
                     body_size=len(reply_body),
+                    attrs={
+                        "reply_marshal_work": self._marshal_work(len(reply_body))
+                    },
                 ),
             )
         reply = giop.ReplyMessage(message.request_id, status, reply_body)

@@ -38,6 +38,11 @@ class RequestInfo:
     #: the observability layer propagates its trace context); in
     #: ``receive_request`` it holds the contexts decoded off the wire.
     service_contexts: list = field(default_factory=list)
+    #: ORB-attached attribution tags (e.g. the CDR marshal/unmarshal work
+    #: charged around this hook); the observability interceptor copies
+    #: them onto its spans so the critical-path analyzer can split
+    #: marshalling out of transport and servant time.
+    attrs: dict = field(default_factory=dict)
 
 
 class RequestInterceptor:

@@ -60,6 +60,12 @@ class Simulator:
         #: trace context used when no process is running (driver code).
         self.ambient_trace_context: Optional[Any] = None
         self._obs: Optional[Any] = None
+        #: optional host-side kernel profiler
+        #: (:class:`repro.obs.profile.SimProfiler`).  Strictly
+        #: observational: it measures wall-clock cost per event/step but
+        #: never feeds a value back into simulated state, so a profiled
+        #: run stays bit-identical to an unprofiled one.
+        self.profiler: Optional[Any] = None
         #: (name, exception) pairs of processes that died from an uncaught,
         #: non-kill exception while nobody was watching them.
         self.unhandled_failures: list[tuple[str, BaseException]] = []
@@ -98,7 +104,15 @@ class Simulator:
             if event.time < self.now - 1e-12:
                 raise SimulationError("event heap time went backwards")
             self.now = max(self.now, event.time)
-            event.callback()
+            profiler = self.profiler
+            if profiler is None:
+                event.callback()
+            else:
+                profiler.event_begin(event.callback, len(self._heap))
+                try:
+                    event.callback()
+                finally:
+                    profiler.event_end()
             return True
         return False
 

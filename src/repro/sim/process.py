@@ -102,26 +102,37 @@ class Process(SimFuture):
         # before completion callbacks fire.
         previous_process = self.sim.current_process
         self.sim.current_process = self
+        profiler = self.sim.profiler
+        if profiler is not None:
+            profiler.process_step_begin(self)
         try:
             if throw_exc is not None:
                 yielded = self._generator.throw(throw_exc)
             else:
                 yielded = self._generator.send(send_value)
         except StopIteration as stop:
+            if profiler is not None:
+                profiler.process_step_end(self, finished=True)
             self.sim.current_process = previous_process
             self._in_resume = False
             self._finish_success(stop.value)
             return
         except ProcessKilled as killed:
+            if profiler is not None:
+                profiler.process_step_end(self, finished=True)
             self.sim.current_process = previous_process
             self._in_resume = False
             self._finish_failure(killed, unhandled=False)
             return
         except BaseException as exc:  # noqa: BLE001 - process body failed
+            if profiler is not None:
+                profiler.process_step_end(self, finished=True)
             self.sim.current_process = previous_process
             self._in_resume = False
             self._finish_failure(exc, unhandled=True)
             return
+        if profiler is not None:
+            profiler.process_step_end(self, finished=False)
         self.sim.current_process = previous_process
         self._in_resume = False
 

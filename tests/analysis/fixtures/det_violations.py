@@ -9,7 +9,12 @@ import uuid
 
 
 def wall_clock():
-    return time.time()  # MARK:DET001
+    return time.time()  # MARK:DET001-call
+
+
+def clock_alias():
+    clock = time.perf_counter  # MARK:DET001-ref
+    return clock
 
 
 def entropy():

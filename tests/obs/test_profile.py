@@ -1,0 +1,284 @@
+"""SimProfiler: kernel hooks, attribution and exports, on a fake clock.
+
+The profiler's wall-clock reads are injectable, so these tests drive it
+with a deterministic counter clock and assert exact arithmetic — no real
+timing, no flakes.
+"""
+
+import functools
+import json
+
+import pytest
+
+from repro.obs.profile import (
+    SimProfiler,
+    callback_site,
+    generator_site,
+    profile,
+)
+from repro.sim import Simulator
+
+
+class TickClock:
+    """Fake wall clock: every read advances by a fixed step."""
+
+    def __init__(self, step=0.001):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        self.now += self.step
+        return self.now
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=7)
+
+
+def _profiled_run(sim, **kwargs):
+    kwargs.setdefault("clock", TickClock())
+    prof = SimProfiler(sim, **kwargs).install()
+    sim.run()
+    prof.uninstall()
+    return prof
+
+
+# -- attribution keys ----------------------------------------------------------
+
+
+def module_callback():
+    pass
+
+
+def test_callback_site_names_module_and_qualname():
+    assert callback_site(module_callback) == "test_profile:module_callback"
+
+
+def test_callback_site_unwraps_partial():
+    bound = functools.partial(module_callback)
+    assert callback_site(bound) == callback_site(module_callback)
+
+
+def test_generator_site_uses_code_object(sim):
+    def worker():
+        yield sim.timeout(1.0)
+
+    process = sim.spawn(worker(), name="w")
+    site = generator_site(process)
+    assert site.endswith("worker")
+    assert site.startswith("test_profile:")
+
+
+# -- lifecycle -----------------------------------------------------------------
+
+
+def test_install_uninstall_manage_sim_hook(sim):
+    prof = SimProfiler(sim, clock=TickClock())
+    assert sim.profiler is None
+    prof.install()
+    assert sim.profiler is prof
+    prof.uninstall()
+    assert sim.profiler is None
+    prof.uninstall()  # idempotent
+    assert not prof.installed
+
+
+def test_second_profiler_refused(sim):
+    first = SimProfiler(sim, clock=TickClock()).install()
+    with pytest.raises(RuntimeError):
+        SimProfiler(sim, clock=TickClock()).install()
+    first.uninstall()
+
+
+def test_profile_context_manager(sim):
+    sim.schedule(1.0, lambda: None)
+    with profile(sim, clock=TickClock()) as prof:
+        assert sim.profiler is prof
+        sim.run()
+    assert sim.profiler is None
+    assert prof.events == 1
+
+
+# -- counting and attribution ---------------------------------------------------
+
+
+def test_events_and_sites_counted(sim):
+    for _ in range(3):
+        sim.schedule(1.0, module_callback)
+    prof = _profiled_run(sim)
+    assert prof.events == 3
+    stats = prof.callback_sites["test_profile:module_callback"]
+    assert stats.count == 3
+    assert stats.kind == "callback"
+    # TickClock: one tick elapses inside each event callback.
+    assert stats.wall_seconds == pytest.approx(3 * 0.001)
+    assert stats.max_wall_seconds == pytest.approx(0.001)
+
+
+def test_process_steps_attributed_by_name(sim):
+    def worker():
+        yield sim.timeout(1.0)
+        yield sim.timeout(1.0)
+
+    sim.spawn(worker(), name="w")
+    sim.spawn(worker(), name="w")
+    prof = _profiled_run(sim)
+    # 2 processes x 3 resumes (initial step + 2 timeouts) each.
+    assert prof.process_steps == 6
+    assert prof.process_completions == 2
+    proc = prof.processes["w"]
+    assert proc.steps == 6
+    assert proc.completions == 2
+    assert proc.sim_span == pytest.approx(2.0)
+    (site,) = prof.step_sites
+    assert site.endswith("worker")
+
+
+def test_step_time_is_exclusive_of_event_time(sim):
+    def worker():
+        yield sim.timeout(1.0)
+
+    sim.spawn(worker(), name="w")
+    prof = _profiled_run(sim)
+    # Events that stepped a generator attribute the generator's wall time
+    # to the step site, never double-counted at the callback site.
+    callback_wall = sum(s.wall_seconds for s in prof.callback_sites.values())
+    step_wall = sum(s.wall_seconds for s in prof.step_sites.values())
+    assert step_wall == pytest.approx(prof.step_wall_seconds)
+    assert callback_wall + step_wall <= prof.event_wall_seconds + 1e-9
+
+
+def test_heap_depth_counters(sim):
+    for delay in (1.0, 2.0, 3.0):
+        sim.schedule(delay, lambda: None)
+    prof = _profiled_run(sim)
+    # Depth of the *remaining* heap at each dispatch: 2, then 1, then 0.
+    assert prof.heap_depth_max == 2
+    assert prof.heap_depth_mean == pytest.approx(1.0)
+
+
+def test_throughput_uses_frozen_window(sim):
+    clock = TickClock(step=0.5)
+    sim.schedule(1.0, lambda: None)
+    prof = SimProfiler(sim, clock=clock).install()
+    sim.run()
+    prof.uninstall()
+    frozen = prof.wall_seconds
+    clock()  # later reads must not stretch the window
+    assert prof.wall_seconds == frozen
+    assert prof.events_per_second == pytest.approx(1 / frozen)
+    assert prof.sim_seconds == pytest.approx(1.0)
+
+
+def test_timeline_ring_bounds_memory(sim):
+    for _ in range(5):
+        sim.schedule(1.0, lambda: None)
+    prof = _profiled_run(sim, timeline_capacity=2)
+    assert len(prof.timeline) == 2
+    assert prof.timeline_dropped == 3
+    assert prof.summary()["timeline_dropped"] == 3
+
+
+# -- exports -------------------------------------------------------------------
+
+
+def test_bench_metrics_keys(sim):
+    sim.schedule(1.0, lambda: None)
+    metrics = _profiled_run(sim).bench_metrics()
+    assert set(metrics) == {
+        "sim_events_per_sec",
+        "sim_process_steps_per_sec",
+        "sim_heap_depth_max",
+    }
+    assert metrics["sim_events_per_sec"] > 0
+
+
+def _small_workload(seed):
+    sim = Simulator(seed=seed)
+
+    def worker():
+        yield sim.timeout(1.0)
+        yield sim.timeout(2.0)
+
+    sim.spawn(worker(), name="w")
+    sim.schedule(1.5, module_callback)
+    return sim
+
+
+def test_folded_stacks_events_weight_stable_under_fixed_seed():
+    outputs = []
+    for _ in range(2):
+        prof = _profiled_run(_small_workload(seed=3))
+        outputs.append(prof.folded_stacks(weight="events"))
+    assert outputs[0] == outputs[1]
+    lines = outputs[0].splitlines()
+    assert lines == sorted(lines)
+    assert all(line.startswith("kernel;") for line in lines)
+    assert any(";process;" in line for line in lines)
+    # events weight is pure counts: integers, deterministic.
+    assert all(line.rsplit(" ", 1)[1].isdigit() for line in lines)
+
+
+def test_folded_stacks_wall_weight_integer_microseconds(sim):
+    sim.schedule(1.0, module_callback)
+    prof = _profiled_run(sim)
+    (line,) = [
+        l for l in prof.folded_stacks(weight="wall").splitlines()
+        if "module_callback" in l
+    ]
+    # one TickClock tick = 1000 us of exclusive wall time
+    assert line == "kernel;test_profile:module_callback 1000"
+
+
+def test_folded_stacks_rejects_unknown_weight(sim):
+    with pytest.raises(ValueError):
+        SimProfiler(sim, clock=TickClock()).folded_stacks(weight="bogus")
+
+
+def test_chrome_trace_round_trips_and_is_consistent():
+    prof = _profiled_run(_small_workload(seed=3))
+    document = prof.chrome_trace()
+    assert json.loads(json.dumps(document)) == document
+    events = document["traceEvents"]
+    assert {e["ph"] for e in events} <= {"X", "C", "M"}
+    complete = [e for e in events if e["ph"] == "X"]
+    assert len(complete) == len(prof.timeline)
+    for event in complete:
+        assert event["ts"] >= 0.0
+        assert event["dur"] >= 0.0
+        assert "sim_time" in event["args"]
+        # a slice never extends past the window it was recorded in.
+        assert event["ts"] + event["dur"] <= prof.wall_seconds * 1e6 + 1e-6
+    # heap-depth counter track accompanies kernel events.
+    counters = [e for e in events if e["ph"] == "C"]
+    assert counters and all(e["name"] == "heap_depth" for e in counters)
+    # every lane is named in metadata.
+    named = {e["args"]["name"] for e in events if e["name"] == "thread_name"}
+    assert "kernel" in named
+
+
+# -- determinism contract --------------------------------------------------------
+
+
+def test_profiled_run_is_bit_identical_to_unprofiled():
+    def run(profiled):
+        sim = Simulator(seed=11)
+        trace = []
+
+        def worker():
+            trace.append(("start", sim.now))
+            yield sim.timeout(0.5)
+            trace.append(("mid", sim.now, float(sim.rng("j").random())))
+            yield sim.timeout(0.25)
+            trace.append(("end", sim.now))
+
+        sim.spawn(worker(), name="w")
+        if profiled:
+            with profile(sim, clock=TickClock()):
+                sim.run()
+        else:
+            sim.run()
+        return trace, sim.now
+
+    assert run(profiled=False) == run(profiled=True)
