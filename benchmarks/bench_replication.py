@@ -1,0 +1,313 @@
+"""Checkpoint vs. replication: the warm-passive / active FT ablation.
+
+One experiment, Table-1 style: every FT design runs the same distilled
+accumulator stream twice — fault-free (steady-state overhead, anchored
+by a proxy-free ``plain`` baseline) and with the service's current
+primary host crashing mid-stream (client-observed unavailability).
+Replicated designs sweep the replication factor r = 2..4.
+
+The designs:
+
+* ``checkpoint-sync`` — the paper's checkpoint/restart: snapshot to the
+  store after every call, recovery = detect, re-create via a factory,
+  restore from the store;
+* ``checkpoint-pipelined`` — same recovery path, overlapped snapshots;
+* ``warm-passive`` — primary executes and ships state to warm standbys;
+  failover promotes a standby with **no store round trip**;
+* ``active`` — every replica executes, replies are majority-voted; a
+  crashed replica is masked inside the vote.
+
+The file doubles as the CI replication-smoke gate::
+
+    PYTHONPATH=src python benchmarks/bench_replication.py --quick
+
+which exits non-zero when warm-passive failover stops being strictly
+faster than checkpoint/restart recovery, when active mode stops paying
+its ~r x CPU bill (or stops masking), when any design loses or
+duplicates an update, or when the quick-shape numbers drift from the
+pinned goldens.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.bench import format_table
+from repro.bench.ftbench import replication_ablation
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+QUICK_CALLS = 16
+FULL_CALLS = 32
+REPLICA_COUNTS = (2, 3, 4)
+
+#: pinned quick-shape goldens (seed=17, calls=16, call_work=0.05):
+#: simulated seconds.  The default checkpoint path and both replication
+#: modes must keep reproducing these bit-for-bit.
+GOLDEN_QUICK = {
+    "plain_runtime": 0.8202623999999972,
+    "checkpoint_sync_unavailability": 0.08254143000000225,
+    "warm_passive_r3_unavailability": 0.05442483999999981,
+}
+GOLDEN_RTOL = 1e-6
+
+#: active mode must burn at least this multiple of the plain CPU work at
+#: r=3 (three executing replicas, minus scheduling slack).
+MIN_ACTIVE_CPU_RATIO = 2.2
+#: warm-passive standbys only apply shipped state — their CPU bill must
+#: stay within this multiple of plain.
+MAX_PASSIVE_CPU_RATIO = 1.35
+
+
+def run_bench(quick: bool = False) -> dict:
+    rows = replication_ablation(
+        replica_counts=REPLICA_COUNTS,
+        calls=QUICK_CALLS if quick else FULL_CALLS,
+    )
+    return {"rows": rows, "quick": quick}
+
+
+def _indexed(results: dict) -> dict:
+    """(label, replicas) → row, with plain under ("plain", 1)."""
+    return {
+        (row.label, row.extra["replicas"]): row for row in results["rows"]
+    }
+
+
+def check_results(results: dict) -> list[str]:
+    """Every violated acceptance condition (empty = pass)."""
+    failures: list[str] = []
+    rows = _indexed(results)
+    plain = rows[("plain", 1)]
+    sync = rows[("checkpoint-sync", 1)]
+    pipelined = rows[("checkpoint-pipelined", 1)]
+
+    # exactly-once: no design may lose or duplicate an acked update,
+    # fault-free or across the crash.
+    for (label, replicas), row in rows.items():
+        if label != "plain" and not row.extra["state_correct"]:
+            failures.append(
+                f"{label} r={replicas}: lost or duplicated an update "
+                "across the primary crash"
+            )
+
+    # the headline: warm-passive failover strictly beats the
+    # checkpoint/restart recovery path at every replication factor.
+    for r in REPLICA_COUNTS:
+        wp = rows[("warm-passive", r)]
+        for ck in (sync, pipelined):
+            if wp.extra["unavailability"] >= ck.extra["unavailability"]:
+                failures.append(
+                    f"warm-passive r={r} unavailability "
+                    f"{wp.extra['unavailability']:.4f}s is not strictly "
+                    f"below {ck.label}'s {ck.extra['unavailability']:.4f}s"
+                )
+        if not wp.extra["group"] or wp.extra["group"]["promotions"] < 1:
+            failures.append(
+                f"warm-passive r={r}: primary crash caused no promotion"
+            )
+        if wp.extra["recoveries"]:
+            failures.append(
+                f"warm-passive r={r}: failover went through the "
+                "checkpoint/restart coordinator "
+                f"({wp.extra['recoveries']} recoveries)"
+            )
+
+    # active mode: masks the crash inside the vote (no unavailability
+    # spike beyond warm-passive) and pays the ~r x CPU bill for it.
+    for r in REPLICA_COUNTS:
+        act = rows[("active", r)]
+        wp = rows[("warm-passive", r)]
+        if act.extra["unavailability"] > wp.extra["unavailability"] + 0.02:
+            failures.append(
+                f"active r={r}: crash was not masked "
+                f"(unavailability {act.extra['unavailability']:.4f}s vs "
+                f"warm-passive {wp.extra['unavailability']:.4f}s)"
+            )
+        if not act.extra["group"] or not act.extra["group"]["vote_rounds"]:
+            failures.append(f"active r={r}: no vote rounds recorded")
+    act3 = rows[("active", 3)]
+    if act3.extra["cpu_work"] < MIN_ACTIVE_CPU_RATIO * plain.extra["cpu_work"]:
+        failures.append(
+            f"active r=3 burned {act3.extra['cpu_work']:.3f} CPU-work, "
+            f"less than {MIN_ACTIVE_CPU_RATIO}x plain's "
+            f"{plain.extra['cpu_work']:.3f} — replicas are not all executing"
+        )
+    cpu_by_r = [rows[("active", r)].extra["cpu_work"] for r in REPLICA_COUNTS]
+    if sorted(cpu_by_r) != cpu_by_r or len(set(cpu_by_r)) != len(cpu_by_r):
+        failures.append(
+            f"active CPU work is not strictly increasing in r: {cpu_by_r}"
+        )
+    wp3 = rows[("warm-passive", 3)]
+    if wp3.extra["cpu_work"] > MAX_PASSIVE_CPU_RATIO * plain.extra["cpu_work"]:
+        failures.append(
+            f"warm-passive r=3 burned {wp3.extra['cpu_work']:.3f} CPU-work, "
+            f"over {MAX_PASSIVE_CPU_RATIO}x plain's "
+            f"{plain.extra['cpu_work']:.3f} — standbys are executing calls"
+        )
+
+    # checkpoint designs must still recover through the coordinator.
+    for ck in (sync, pipelined):
+        if not ck.extra["recoveries"]:
+            failures.append(
+                f"{ck.label}: primary crash caused no checkpoint/restart "
+                "recovery"
+            )
+
+    if results["quick"]:
+        actuals = {
+            "plain_runtime": plain.runtime,
+            "checkpoint_sync_unavailability": sync.extra["unavailability"],
+            "warm_passive_r3_unavailability": wp3.extra["unavailability"],
+        }
+        for name, expected in GOLDEN_QUICK.items():
+            actual = actuals[name]
+            if abs(actual - expected) > GOLDEN_RTOL * expected:
+                failures.append(
+                    f"golden drift: {name} = {actual!r} != pinned "
+                    f"{expected!r}"
+                )
+    return failures
+
+
+def render(results: dict) -> str:
+    body = []
+    for row in results["rows"]:
+        e = row.extra
+        if row.label == "plain":
+            body.append(
+                [row.label, "-", f"{row.runtime:.4f}", "-", "-", "-",
+                 f"{e['cpu_work']:.3f}", "-"]
+            )
+            continue
+        group = e.get("group") or {}
+        if row.label.startswith("checkpoint"):
+            failover = f"{e['recoveries']} restart(s)"
+        elif row.label == "warm-passive":
+            failover = f"{group.get('promotions', 0)} promotion(s)"
+        else:
+            failover = "masked by vote"
+        body.append(
+            [
+                row.label,
+                "-" if row.label.startswith("checkpoint") else str(e["replicas"]),
+                f"{row.runtime:.4f}",
+                f"{e['overhead_percent']:.1f}",
+                f"{e['unavailability']:.4f}",
+                failover,
+                f"{e['cpu_work']:.3f}",
+                "yes" if e["state_correct"] else "NO",
+            ]
+        )
+    return format_table(
+        [
+            "design",
+            "r",
+            "runtime [s]",
+            "overhead [%]",
+            "unavail [s]",
+            "failover path",
+            "cpu work",
+            "exactly-once",
+        ],
+        body,
+        title=(
+            "Checkpoint vs. replication: overhead and primary-crash "
+            "recovery (Table-1 workload shape)"
+        ),
+    )
+
+
+def payload(results: dict) -> dict:
+    return {
+        "quick": results["quick"],
+        "rows": [
+            {
+                "design": row.label,
+                "runtime": row.runtime,
+                **{k: v for k, v in row.extra.items() if k != "group"},
+                "group": row.extra.get("group"),
+            }
+            for row in results["rows"]
+        ],
+    }
+
+
+def metric_series(results: dict) -> dict:
+    runtime_samples = []
+    overhead_samples = []
+    unavailability_samples = []
+    cpu_samples = []
+    for row in results["rows"]:
+        labels = {"design": row.label, "replicas": row.extra["replicas"]}
+        runtime_samples.append((labels, row.runtime))
+        cpu_samples.append((labels, row.extra["cpu_work"]))
+        if row.label == "plain":
+            continue
+        overhead_samples.append((labels, row.extra["overhead_percent"]))
+        unavailability_samples.append((labels, row.extra["unavailability"]))
+    return {
+        "bench_replication_runtime_seconds": runtime_samples,
+        "bench_replication_overhead_percent": overhead_samples,
+        "bench_replication_unavailability_seconds": unavailability_samples,
+        "bench_replication_cpu_work": cpu_samples,
+    }
+
+
+def export_artifacts(results: dict) -> None:
+    """Write the same artifact set the pytest fixtures would."""
+    from repro.bench.reporting import write_json
+    from repro.obs import MetricsRegistry
+    from repro.obs.exporters import prometheus_text
+
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / "replication.txt").write_text(render(results) + "\n")
+    write_json(RESULTS_DIR / "replication.json", payload(results))
+    registry = MetricsRegistry()
+    for metric_name, samples in metric_series(results).items():
+        for labels, value in samples:
+            registry.gauge(metric_name, **labels).set(float(value))
+    write_json(RESULTS_DIR / "BENCH_replication.json", registry.snapshot())
+    (RESULTS_DIR / "BENCH_replication.prom").write_text(
+        prometheus_text(registry)
+    )
+
+
+def test_replication(benchmark, save_result, export_bench_metrics):
+    results = benchmark.pedantic(
+        run_bench, kwargs={"quick": True}, rounds=1, iterations=1
+    )
+    failures = check_results(results)
+    assert not failures, "\n".join(failures)
+    save_result("replication", render(results), payload(results))
+    export_bench_metrics("replication", metric_series(results))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=(
+            "Checkpoint-vs-replication ablation (CI replication-smoke gate)."
+        )
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI shape: short stream, golden-pinned numbers",
+    )
+    args = parser.parse_args(argv)
+    results = run_bench(quick=args.quick)
+    print(render(results))
+    export_artifacts(results)
+    print(f"\nwrote {RESULTS_DIR / 'BENCH_replication.json'}")
+    failures = check_results(results)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("replication ablation: all acceptance checks passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

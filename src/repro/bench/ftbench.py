@@ -14,12 +14,7 @@ from typing import Iterable, Optional, Sequence
 
 from repro.cluster import BackgroundLoad
 from repro.core import Runtime, RuntimeConfig
-from repro.ft import (
-    ActiveReplicationGroup,
-    FtPolicy,
-    MigrationPolicy,
-    PassiveReplicationGroup,
-)
+from repro.ft import FtPolicy, MigrationPolicy
 from repro.ft.checkpointable import CHECKPOINTABLE_IDL
 from repro.orb import compile_idl
 
@@ -262,70 +257,234 @@ def store_backend_compare(
     return rows
 
 
+#: label → FtPolicy overrides for :func:`replication_compare` cells.
+REPLICATION_STYLES = {
+    "plain": None,
+    "checkpoint": {},
+    "passive": {"ft_mode": "warm-passive"},
+    "active": {"ft_mode": "active"},
+}
+
+
 def replication_compare(
     calls: int = 30,
     call_work: float = 0.05,
     replicas: int = 3,
 ) -> list[AblationRow]:
-    """Checkpointing vs. active/passive replication: the §3 resource
-    argument.  Reports both completion time and total CPU work burned."""
+    """Checkpointing vs. the first-class replication modes: the §3
+    resource argument, measured against the *real* ``ft_mode``
+    implementations (the same code path the chaos campaign exercises).
+    Reports both completion time and total CPU work burned."""
     rows = []
     for style in ("plain", "checkpoint", "passive", "active"):
         runtime = _runtime(num_hosts=max(6, replicas + 2))
-        hosts = list(range(1, replicas + 1))
         work_before = _total_cpu_work(runtime)
+        ior = runtime.orb(1).poa.activate(AccumulatorImpl())
+        overrides = REPLICATION_STYLES[style]
+        replicated = style in ("passive", "active")
 
-        if style in ("plain", "checkpoint"):
-            ior = runtime.orb(1).poa.activate(AccumulatorImpl())
-            proxy = runtime.ft_proxy(
+        if overrides is None:
+            target = runtime.orb(0).stub(ior, ns.BenchAccumulatorStub)
+        else:
+            if replicated:
+                overrides = dict(overrides, replication_factor=replicas)
+            target = runtime.ft_proxy(
                 ns.BenchAccumulatorStub,
                 ior,
                 key="acc",
                 type_name="BenchAccumulator",
+                policy=FtPolicy(**overrides),
                 with_store=style == "checkpoint",
-                with_recovery=style == "checkpoint",
             )
+        if replicated:
+            # Provision outside the measured window: the ablation compares
+            # steady-state per-call cost, not group construction.
+            def prep():
+                yield target.provision_now()
 
-            def client():
-                start = runtime.sim.now
-                for _ in range(calls):
-                    yield proxy.add(1.0, call_work)
-                return runtime.sim.now - start
+            runtime.run(prep())
 
-        else:
-            iors = [
-                runtime.orb(h).poa.activate(AccumulatorImpl()) for h in hosts
-            ]
-            group_cls = (
-                ActiveReplicationGroup if style == "active" else PassiveReplicationGroup
-            )
-            group = group_cls(runtime.orb(0), ns.BenchAccumulatorStub, iors)
-
-            def client():
-                start = runtime.sim.now
-                for _ in range(calls):
-                    yield group.invoke("add", (1.0, call_work))
-                # Active replication: wait for slower replicas to drain so
-                # their CPU use is fully accounted.
+        def client(target=target, replicated=replicated):
+            start = runtime.sim.now
+            for _ in range(calls):
+                yield target.add(1.0, call_work)
+            if replicated:
+                # Wait for straggler replicas / background ships so their
+                # CPU use is fully accounted.
+                yield target.drain_checkpoints()
                 yield runtime.sim.timeout(call_work * calls)
-                return runtime.sim.now - start
+            return runtime.sim.now - start
 
         elapsed = runtime.run(client())
-        rows.append(
-            AblationRow(
-                label=style,
-                runtime=elapsed,
-                extra={
-                    "cpu_work": _total_cpu_work(runtime) - work_before,
-                    "hosts_dedicated": replicas if style in ("active", "passive") else 1,
-                },
-            )
-        )
+        extra = {
+            "cpu_work": _total_cpu_work(runtime) - work_before,
+            "hosts_dedicated": replicas if replicated else 1,
+        }
+        if replicated:
+            extra["group"] = target._ft.group.snapshot()
+        rows.append(AblationRow(label=style, runtime=elapsed, extra=extra))
     return rows
 
 
 def _total_cpu_work(runtime: Runtime) -> float:
     return sum(host.cpu.work_completed for host in runtime.cluster)
+
+
+def _histogram_max(registry, name: str) -> float:
+    largest = 0.0
+    for instrument in registry:
+        if instrument.kind == "histogram" and instrument.name == name:
+            if instrument.count:
+                largest = max(largest, instrument.max)
+    return largest
+
+
+#: label → (FtPolicy overrides, needs checkpoint store) for the
+#: checkpoint-vs-replication ablation cells.  ``None`` replica counts
+#: mean the design does not replicate (one servant, store-backed).
+ABLATION_DESIGNS = {
+    "checkpoint-sync": ({}, True),
+    "checkpoint-pipelined": ({"checkpoint_mode": "pipelined"}, True),
+    "warm-passive": ({"ft_mode": "warm-passive"}, False),
+    "active": ({"ft_mode": "active"}, False),
+}
+
+
+def replication_ablation(
+    replica_counts: Sequence[int] = (2, 3, 4),
+    calls: int = 24,
+    call_work: float = 0.05,
+) -> list[AblationRow]:
+    """The checkpoint-vs-replication ablation (Table-1-style matrix).
+
+    Every design runs two deterministic cells over identical call
+    streams: a fault-free one for steady-state overhead (anchored by a
+    shared proxy-free ``plain`` baseline) and a crash cell where the
+    service's *current primary host* dies halfway through the stream.
+    The crash cell reports the client-observed unavailability window —
+    crash instant to the next acknowledged call — plus the disruption
+    net of one steady-state call.  Checkpoint designs pay detect →
+    re-create → restore-from-store; warm-passive promotes an
+    already-warm standby with no store round trip; active masks the
+    fault inside the vote.  Replicated designs sweep ``replica_counts``.
+    """
+    crash_index = calls // 2
+
+    def run_cell(overrides, with_store, replicas, crash):
+        runtime = _runtime(num_hosts=7)
+        work_before = _total_cpu_work(runtime)
+        ior = runtime.orb(1).poa.activate(AccumulatorImpl())
+        if overrides is None:
+            target = runtime.orb(0).stub(ior, ns.BenchAccumulatorStub)
+        else:
+            policy_kwargs = dict(overrides)
+            if replicas:
+                policy_kwargs["replication_factor"] = replicas
+            target = runtime.ft_proxy(
+                ns.BenchAccumulatorStub,
+                ior,
+                key="acc",
+                type_name="BenchAccumulator",
+                policy=FtPolicy(**policy_kwargs),
+                with_store=with_store,
+            )
+            if replicas:
+                # Group construction happens outside the measured stream:
+                # the ablation compares steady-state and failover cost.
+                def prep():
+                    yield target.provision_now()
+
+                runtime.run(prep())
+
+        def primary_host():
+            if replicas:
+                return target._ft.group.members[0].ior.host
+            return target.ior.host
+
+        timing: dict = {}
+
+        def client():
+            start = runtime.sim.now
+            for index in range(calls):
+                if crash and index == crash_index:
+                    # Drain in-flight checkpoints/ships first so every
+                    # design enters the fault from a fully persisted
+                    # state: the cell measures recovery latency, not the
+                    # pipelined acked-but-not-captured window.
+                    yield target.drain_checkpoints()
+                    timing["crash_at"] = runtime.sim.now
+                    runtime.cluster.host(primary_host()).crash()
+                before = runtime.sim.now
+                yield target.add(1.0, call_work)
+                if index == crash_index:
+                    timing["ack_at"] = runtime.sim.now
+                elif index == crash_index - 1:
+                    timing["clean_call"] = runtime.sim.now - before
+            elapsed = runtime.sim.now - start
+            final = yield target.total()
+            if overrides is not None:
+                yield target.drain_checkpoints()
+            return elapsed, final
+
+        elapsed, final = runtime.run(client())
+        cell = {
+            "elapsed": elapsed,
+            "final": final,
+            "state_correct": abs(final - calls) < 1e-9,
+            "cpu_work": _total_cpu_work(runtime) - work_before,
+        }
+        if crash:
+            cell["unavailability"] = timing["ack_at"] - timing["crash_at"]
+            cell["disruption"] = cell["unavailability"] - timing["clean_call"]
+            metrics = runtime.obs.metrics
+            cell["recovery_seconds"] = _histogram_max(
+                metrics, "ft_recovery_seconds"
+            )
+            cell["failover_seconds"] = _histogram_max(
+                metrics, "ft_failover_seconds"
+            )
+            cell["recoveries"] = runtime.coordinator(0).recoveries
+            if replicas:
+                cell["group"] = target._ft.group.snapshot()
+        return cell
+
+    rows: list[AblationRow] = []
+    baseline = run_cell(None, False, None, crash=False)
+    rows.append(
+        AblationRow(
+            label="plain",
+            runtime=baseline["elapsed"],
+            extra={"replicas": 1, "cpu_work": baseline["cpu_work"]},
+        )
+    )
+    for label, (overrides, with_store) in ABLATION_DESIGNS.items():
+        counts: Iterable[Optional[int]] = (
+            replica_counts if "ft_mode" in overrides else (None,)
+        )
+        for replicas in counts:
+            clean = run_cell(overrides, with_store, replicas, crash=False)
+            crashed = run_cell(overrides, with_store, replicas, crash=True)
+            rows.append(
+                AblationRow(
+                    label=label,
+                    runtime=clean["elapsed"],
+                    extra={
+                        "replicas": replicas or 1,
+                        "overhead_percent": 100.0
+                        * (clean["elapsed"] / baseline["elapsed"] - 1.0),
+                        "cpu_work": clean["cpu_work"],
+                        "unavailability": crashed["unavailability"],
+                        "disruption": crashed["disruption"],
+                        "recovery_seconds": crashed["recovery_seconds"],
+                        "failover_seconds": crashed["failover_seconds"],
+                        "recoveries": crashed["recoveries"],
+                        "state_correct": clean["state_correct"]
+                        and crashed["state_correct"],
+                        "group": crashed.get("group"),
+                    },
+                )
+            )
+    return rows
 
 
 def replicated_store_compare(

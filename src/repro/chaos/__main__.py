@@ -58,6 +58,13 @@ def main(argv=None) -> int:
         help="ship delta checkpoints instead of full states",
     )
     parser.add_argument(
+        "--ft-mode",
+        choices=("checkpoint", "warm-passive", "active"),
+        default="checkpoint",
+        help="fault-tolerance mode for the accumulator proxy: the paper's "
+        "checkpoint/restart (default) or a first-class replication mode",
+    )
+    parser.add_argument(
         "--resolve-cache",
         action="store_true",
         help="enable the naming resolve cache (checks the no-stale-resolve "
@@ -80,6 +87,7 @@ def main(argv=None) -> int:
     config.checkpoint_deltas = args.deltas
     config.resolve_cache = args.resolve_cache
     config.enforce_slos = args.enforce_slos
+    config.ft_mode = args.ft_mode
 
     def progress(report):
         status = "ok" if report.ok else "FAIL"
@@ -88,7 +96,13 @@ def main(argv=None) -> int:
             f"acc={report.acc_ok}/{report.acc_ok + report.acc_failed} "
             f"recoveries={report.recoveries} "
             f"buffered={report.checkpoints_buffered} "
-            f"sim={report.sim_seconds:.2f}s"
+            + (
+                f"promotions={report.promotions} "
+                f"replacements={report.replacements} "
+                if report.ft_mode != "checkpoint"
+                else ""
+            )
+            + f"sim={report.sim_seconds:.2f}s"
         )
         for violation in report.violations:
             print(f"       violation: {violation}")

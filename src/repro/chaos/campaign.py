@@ -22,11 +22,16 @@ recovery attempts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence
 
 from repro.bench.ftbench import AccumulatorImpl, ns as acc_ns
-from repro.chaos.invariants import check_report, counter_total, histogram_max
+from repro.chaos.invariants import (
+    check_report,
+    counter_total,
+    histogram_max,
+    stale_primary_violations,
+)
 from repro.chaos.scenarios import (
     ChaosScenario,
     ScenarioEnv,
@@ -76,6 +81,12 @@ class CampaignConfig:
     #: resolve fast path under chaos: the cache must never serve a
     #: selection on a dead host (the no-stale-resolve invariant).
     resolve_cache: bool = False
+    #: fault-tolerance mode for the *accumulator* proxy: "checkpoint"
+    #: (the paper path, default), "warm-passive" or "active".  The
+    #: optimizer proxies always stay on the checkpoint path, so every
+    #: cell exercises both designs side by side.
+    ft_mode: str = "checkpoint"
+    replication_factor: int = 3
     #: SLO gating: failures are always *recorded* per cell (and exported
     #: as ``slo_ok`` gauges); with ``enforce_slos`` they also count as
     #: invariant violations and fail the campaign.
@@ -112,6 +123,21 @@ class CampaignConfig:
             checkpoint_buffer_limit=16,
             checkpoint_mode=self.checkpoint_mode,
             checkpoint_deltas=self.checkpoint_deltas,
+        )
+
+    def acc_policy(self) -> FtPolicy:
+        """The accumulator proxy's policy: the base policy, switched to
+        the configured replication mode (with a failure detector so a
+        suspected primary is promoted between calls too)."""
+        policy = self.policy()
+        if self.ft_mode == "checkpoint":
+            return policy
+        return replace(
+            policy,
+            ft_mode=self.ft_mode,
+            replication_factor=self.replication_factor,
+            detector_interval=0.25,
+            detector_suspect_after=2,
         )
 
 
@@ -165,6 +191,15 @@ class ScenarioReport:
     resolve_cache_hits: int = 0
     resolve_cache_misses: int = 0
     resolve_stale_served: int = 0
+    # replication modes (accumulator proxy)
+    ft_mode: str = "checkpoint"
+    promotions: int = 0
+    lead_changes: int = 0
+    replacements: int = 0
+    replicas_retired: int = 0
+    state_ships: int = 0
+    duplicates_suppressed: int = 0
+    stale_primary: list = field(default_factory=list)
     # SLOs (evaluated from the metrics registry at harvest time)
     slo_failures: list = field(default_factory=list)
     # plumbing
@@ -218,6 +253,7 @@ def run_scenario(
         expects=dict(scenario.expects),
         opt_enabled=config.with_optimizer,
         recovery_deadline=policy.recovery_deadline,
+        ft_mode=config.ft_mode,
     )
 
     # deploy the workload servants ------------------------------------------------
@@ -233,6 +269,7 @@ def run_scenario(
         key="chaos-acc",
         type_name="BenchAccumulator",
         group_name="chaos-acc.service",
+        policy=config.acc_policy(),
     )
     contexts = [acc_proxy._ft]
 
@@ -255,6 +292,20 @@ def run_scenario(
 
     runtime.settle(config.settle)
 
+    # Replication modes provision their group BEFORE the faults start, so
+    # the scenarios can aim at the actual primary / standbys.
+    primary_host = worker_hosts[0]
+    standby_hosts = list(worker_hosts[1:])
+    if config.ft_mode != "checkpoint":
+
+        def provision():
+            yield acc_proxy.provision_now()
+
+        runtime.run(provision())
+        group = acc_proxy._ft.group
+        primary_host = group.members[0].ior.host
+        standby_hosts = [m.ior.host for m in group.members[1:]]
+
     # install the scenario's faults over [now, now + horizon] --------------------
     env = ScenarioEnv(
         runtime=runtime,
@@ -263,6 +314,8 @@ def run_scenario(
         horizon=config.horizon,
         service_host=runtime.cluster.host(0).name,
         worker_hosts=worker_hosts,
+        primary_host=primary_host,
+        standby_hosts=standby_hosts,
     )
     scenario.install(env)
     drain_until = env.start + config.horizon + 0.5
@@ -338,7 +391,7 @@ def run_scenario(
         # persists still in flight (a failed one lands in the degraded
         # buffer) ...
         for proxy in [acc_proxy, *opt_references]:
-            if proxy._ft.inflight_checkpoints:
+            if proxy._ft.inflight_checkpoints or proxy._ft.group is not None:
                 yield proxy.drain_checkpoints()
         # ... then: a workload that finished *during* the storage
         # outage still holds buffered checkpoints; one more checkpoint
@@ -405,6 +458,20 @@ def run_scenario(
         report.resolve_cache_hits = naming.resolve_cache.stats.hits
         report.resolve_cache_misses = naming.resolve_cache.stats.misses
         report.resolve_stale_served = naming.resolve_cache.stats.stale_served
+    group = acc_proxy._ft.group
+    if group is not None:
+        snap = group.snapshot()
+        report.promotions = snap["promotions"]
+        report.lead_changes = snap["lead_changes"]
+        report.replacements = snap["replacements"]
+        report.replicas_retired = snap["retired"]
+        report.state_ships = (
+            snap["state_ships_full"] + snap["state_ships_delta"]
+        )
+    report.duplicates_suppressed = sum(
+        m.duplicates_suppressed for m in runtime._replica_members
+    )
+    report.stale_primary = stale_primary_violations(runtime)
     slo_results = evaluate_slos(metrics.snapshot(), DEFAULT_SLOS)
     export_slo_metrics(metrics, slo_results)
     report.slo_failures = [
@@ -504,6 +571,11 @@ def export_campaign_metrics(result: CampaignResult, registry) -> None:
         )
         registry.gauge("chaos_slo_failures", **labels).set(
             len(r.slo_failures)
+        )
+        registry.gauge("chaos_promotions", **labels).set(r.promotions)
+        registry.gauge("chaos_replacements", **labels).set(r.replacements)
+        registry.gauge("chaos_stale_primary_hits", **labels).set(
+            len(r.stale_primary)
         )
 
 

@@ -54,6 +54,40 @@ def histogram_max(registry, name: str) -> float:
     return largest
 
 
+def stale_primary_violations(runtime) -> list[str]:
+    """The ``no-stale-primary`` audit over a finished runtime.
+
+    For every replica a group ever retired, compare the highest request
+    sequence number the replica actually *received* against the sequence
+    the group had issued by the moment it was retired.  A higher number
+    means a request created after failover was still delivered to the
+    dead incarnation — i.e. a resolve/connection cache kept routing to
+    the old primary after promotion.
+    """
+    wrappers = {
+        member.ior: member
+        for member in runtime._replica_members
+        if member.ior is not None
+    }
+    violations = []
+    for context in runtime._ft_contexts:
+        group = getattr(context, "group", None)
+        if group is None:
+            continue
+        for ior, retired_at, seq_at_retire in group.retired:
+            wrapper = wrappers.get(ior)
+            if wrapper is None:
+                continue
+            if wrapper.last_request_seq > seq_at_retire:
+                violations.append(
+                    f"group {group.group_id}: replica {ior.host}"
+                    f"#{ior.incarnation} (retired at {retired_at:.3f}s,"
+                    f" seq {seq_at_retire}) received request seq"
+                    f" {wrapper.last_request_seq} after retirement"
+                )
+    return violations
+
+
 def check_report(report: "ScenarioReport") -> list[str]:
     """All invariant violations of one scenario run (empty = pass)."""
     violations: list[str] = []
@@ -129,8 +163,46 @@ def check_report(report: "ScenarioReport") -> list[str]:
             "selection(s) on hosts already known dead"
         )
 
+    # no stale primary ---------------------------------------------------------
+    for item in report.stale_primary:
+        violations.append(f"stale primary: {item}")
+
     # scenario-specific expectations -------------------------------------------
-    if report.expects.get("degraded_flush"):
+    if report.expects.get("primary_failover"):
+        # The same cell must be survivable in every ft_mode; what counts
+        # as "handled the primary fault" differs per mode.
+        if report.ft_mode == "warm-passive" and not report.promotions:
+            violations.append(
+                "expected a warm-passive promotion after the primary "
+                "fault, but none happened"
+            )
+        elif report.ft_mode == "active" and not (
+            report.lead_changes
+            or report.replacements
+            or report.replicas_retired
+        ):
+            violations.append(
+                "expected the active group to retire/replace the faulted "
+                "primary, but membership never changed"
+            )
+        elif report.ft_mode == "checkpoint" and not report.recoveries:
+            violations.append(
+                "expected at least one checkpoint/restart recovery after "
+                "the primary fault"
+            )
+    if (
+        report.expects.get("standby_loss")
+        and report.ft_mode != "checkpoint"
+        and not (report.replicas_retired or report.replacements)
+    ):
+        violations.append(
+            "expected the group to retire or replace the crashed standby"
+        )
+
+    # Degraded-mode buffering is a checkpoint-path contract: in the
+    # replication modes the accumulator never touches the store, so the
+    # outage has nothing to buffer for it.
+    if report.expects.get("degraded_flush") and report.ft_mode == "checkpoint":
         if not report.checkpoints_buffered:
             violations.append(
                 "expected degraded-mode buffering during the store outage, "

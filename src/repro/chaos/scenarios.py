@@ -42,6 +42,13 @@ class ScenarioEnv:
     #: hosts carrying the accumulator and optimizer servants, in
     #: deployment order (the accumulator starts on ``worker_hosts[0]``).
     worker_hosts: list[str] = field(default_factory=list)
+    #: the accumulator's current primary host.  In the replication modes
+    #: this is the provisioned group lead; in checkpoint mode it falls
+    #: back to ``worker_hosts[0]`` (where the servant was deployed).
+    primary_host: str = ""
+    #: the group's standby hosts (replication modes), else the remaining
+    #: worker hosts — so every scenario is meaningful in every ft_mode.
+    standby_hosts: list[str] = field(default_factory=list)
 
     def at(self, fraction: float) -> float:
         """Absolute time ``fraction`` of the way into the fault window."""
@@ -152,6 +159,65 @@ def _flapping(env: ScenarioEnv) -> None:
     env.injector.schedule_flapping(
         env.worker_hosts[1],
         at=env.at(0.15),
+        cycles=3,
+        down_time=min(0.3, 0.08 * env.horizon),
+        up_time=min(0.45, 0.12 * env.horizon),
+    )
+
+
+@_scenario(
+    "primary-crash",
+    "the accumulator's current primary host crashes mid-stream and later "
+    "restarts; replication modes must promote/mask, checkpoint must recover",
+    primary_failover=True,
+)
+def _primary_crash(env: ScenarioEnv) -> None:
+    down = min(0.6, 0.15 * env.horizon)
+    env.injector.schedule(
+        FailurePlan(env.primary_host, env.at(0.35), restart_after=down)
+    )
+
+
+@_scenario(
+    "standby-crash",
+    "a standby crashes mid-state-transfer (ships are in flight on every "
+    "call); the group must retire it and backfill without failing a call",
+    standby_loss=True,
+)
+def _standby_crash(env: ScenarioEnv) -> None:
+    target = (env.standby_hosts or env.worker_hosts[1:])[0]
+    down = min(0.6, 0.15 * env.horizon)
+    env.injector.schedule(
+        FailurePlan(target, env.at(0.3), restart_after=down)
+    )
+
+
+@_scenario(
+    "primary-partition",
+    "the primary is partitioned from the client/service host, then heals; "
+    "a promoted standby must take over and the healed primary must never "
+    "see a post-promotion request",
+    primary_failover=True,
+)
+def _primary_partition(env: ScenarioEnv) -> None:
+    env.injector.schedule_partition(
+        env.service_host,
+        env.primary_host,
+        at=env.at(0.25),
+        heal_after=0.25 * env.horizon,
+    )
+
+
+@_scenario(
+    "flapping-primary",
+    "the primary host crash/restarts repeatedly; every new incarnation is "
+    "a different endpoint, so stale routing would be caught immediately",
+    primary_failover=True,
+)
+def _flapping_primary(env: ScenarioEnv) -> None:
+    env.injector.schedule_flapping(
+        env.primary_host,
+        at=env.at(0.2),
         cycles=3,
         down_time=min(0.3, 0.08 * env.horizon),
         up_time=min(0.45, 0.12 * env.horizon),

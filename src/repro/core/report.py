@@ -95,6 +95,39 @@ def runtime_report(runtime: "Runtime") -> dict:
         "buffer_depth": sum(len(c.buffered_checkpoints) for c in contexts),
     }
 
+    # First-class replication groups (warm-passive / active ft_mode) plus
+    # the server-side replica wrappers the factories created for them.
+    groups = [c.group for c in contexts if c.group is not None]
+    members = runtime._replica_members
+    replication = {
+        "groups": len(groups),
+        "modes": sorted({g.mode for g in groups}),
+        "members": sum(len(g.members) for g in groups),
+        "retired": sum(len(g.retired) for g in groups),
+        "calls": sum(g.calls for g in groups),
+        "promotions": sum(g.promotions for g in groups),
+        "lead_changes": sum(g.lead_changes for g in groups),
+        "state_ships_full": sum(g.state_ships_full for g in groups),
+        "state_ships_delta": sum(g.state_ships_delta for g in groups),
+        "ship_bytes": sum(g.ship_bytes for g in groups),
+        "delta_fallbacks": sum(g.delta_fallbacks for g in groups),
+        "replacements": sum(g.replacements for g in groups),
+        "replacement_failures": sum(
+            g.replacement_failures for g in groups
+        ),
+        "votes": sum(g.votes for g in groups),
+        "vote_rounds": sum(g.vote_rounds for g in groups),
+        "divergences": sum(g.divergences for g in groups),
+        "resyncs": sum(g.resyncs for g in groups),
+        "replicas_created": len(members),
+        "dispatches": sum(m.dispatches for m in members),
+        "applies": sum(m.applies for m in members),
+        "duplicates_suppressed": sum(
+            m.duplicates_suppressed for m in members
+        ),
+        "state_restores": sum(m.state_restores for m in members),
+    }
+
     # The resolve fast path: naming-side cache, Winner delta reports and
     # ORB connection reuse (all zeros/disabled unless the flags are on).
     naming = runtime.naming_root
@@ -150,6 +183,7 @@ def runtime_report(runtime: "Runtime") -> dict:
         "operations": operations,
         "fault_tolerance": ft,
         "ft_proxies": proxies,
+        "replication": replication,
         "resolve_cache": resolve_cache,
         "connection_cache": connections,
         "winner_reports": winner_reports,
@@ -235,6 +269,32 @@ def format_runtime_report(report: dict) -> str:
                 f"pipeline peak depth {proxies['pipeline_peak_depth']} "
                 f"({proxies['pipeline_stalls']} stalls)"
             )
+        sections.append(line)
+    repl = report.get("replication")
+    if repl and repl["groups"]:
+        line = (
+            f"Replication: {repl['groups']} group(s) "
+            f"[{'/'.join(repl['modes'])}], {repl['calls']} calls, "
+            f"{repl['promotions']} promotions, "
+            f"{repl['lead_changes']} lead changes, "
+            f"{repl['replacements']} replacements "
+            f"({repl['replacement_failures']} failed); ships "
+            f"{repl['state_ships_full']} full / "
+            f"{repl['state_ships_delta']} delta "
+            f"({repl['ship_bytes']} bytes, "
+            f"{repl['delta_fallbacks']} fallbacks)"
+        )
+        if repl["vote_rounds"]:
+            line += (
+                f"; votes {repl['votes']}/{repl['vote_rounds']} rounds "
+                f"({repl['divergences']} divergences, "
+                f"{repl['resyncs']} resyncs)"
+            )
+        line += (
+            f"; replicas {repl['replicas_created']} created, "
+            f"{repl['applies']} applies, "
+            f"{repl['duplicates_suppressed']} duplicates suppressed"
+        )
         sections.append(line)
     cache = report.get("resolve_cache")
     if cache and cache.get("enabled"):

@@ -82,6 +82,9 @@ class Runtime:
         #: every FtContext built via ft_proxy — runtime_report aggregates
         #: their per-proxy checkpoint counters.
         self._ft_contexts: list[FtContext] = []
+        #: every ReplicatedServant any factory activated (survives host
+        #: heals) — the chaos no-stale-primary invariant audits these.
+        self._replica_members: list = []
         self._loads: list[BackgroundLoad] = []
         self.system_manager: Optional[SystemManager] = None
         self.winner_servant = None
@@ -199,7 +202,9 @@ class Runtime:
         self._node_managers[host.name] = nm.start()
 
     def _start_factory(self, host) -> None:
-        factory = ObjectFactoryServant()
+        factory = ObjectFactoryServant(
+            member_listener=self._replica_members.append
+        )
         for type_name, maker in self._factory_types.items():
             factory.register_type(type_name, maker)
         self._factories[host.name] = factory

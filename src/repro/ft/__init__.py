@@ -22,9 +22,10 @@ a failed service."
 * :mod:`repro.ft.detector` — a locate-ping failure detector;
 * :mod:`repro.ft.migration` — load-triggered service migration, the
   capability §3 notes checkpointing enables;
-* :mod:`repro.ft.replication` — active/passive replication baselines
-  (the Piranha/IGOR-style designs the paper argues against on resource
-  grounds), for the ablation benches.
+* :mod:`repro.ft.replication` — first-class warm-passive and active
+  replication groups (the Piranha/IGOR-style designs the paper argues
+  against on resource grounds), selected by ``FtPolicy.ft_mode`` and
+  measured against checkpoint/restart by the replication ablation.
 """
 
 from repro.ft.breaker import CircuitBreaker, HostBreakerRegistry
@@ -40,11 +41,17 @@ from repro.ft.proxies import FtContext, make_ft_proxy
 from repro.ft.request_proxy import FtRequest
 from repro.ft.detector import FailureDetector
 from repro.ft.migration import MigrationPolicy, migrate_service
-from repro.ft.replication import ActiveReplicationGroup, PassiveReplicationGroup
+from repro.ft.replication import (
+    ActiveGroup,
+    ReplicaGroup,
+    ReplicatedServant,
+    WarmPassiveGroup,
+    build_group,
+)
 from repro.ft.replicated_store import ReplicatedCheckpointStore
 
 __all__ = [
-    "ActiveReplicationGroup",
+    "ActiveGroup",
     "CheckpointableSkeleton",
     "CheckpointableStub",
     "CircuitBreaker",
@@ -56,10 +63,13 @@ __all__ = [
     "MigrationPolicy",
     "ObjectFactoryServant",
     "ObjectFactoryStub",
-    "PassiveReplicationGroup",
     "RecoveryCoordinator",
+    "ReplicaGroup",
     "ReplicatedCheckpointStore",
+    "ReplicatedServant",
     "UnknownType",
+    "WarmPassiveGroup",
+    "build_group",
     "make_ft_proxy",
     "migrate_service",
 ]

@@ -4,7 +4,13 @@ The paper's error detection is reactive ("the only way to detect an error
 on the client side is the exception CORBA::COMM_FAILURE").  A proactive
 detector built from GIOP LocateRequest pings is the natural extension and
 is what the migration policy uses to avoid moving services to dying hosts;
-the recovery bench also uses it to measure detection latency.
+the recovery bench uses it to measure detection latency, and warm-passive
+replication uses it to promote a standby before any call even fails.
+
+Suspicion is *level-triggered*, not one-shot: a suspected target stays
+watched, a successful ping afterwards clears the suspicion, and a target
+that dies again after recovering is re-suspected (flapping hosts produce
+one suspicion per down phase, each reported through ``on_suspect``).
 """
 
 from __future__ import annotations
@@ -20,7 +26,7 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 class FailureDetector:
-    """Periodically pings watched objects; reports suspects once."""
+    """Periodically pings watched objects; reports each down phase once."""
 
     def __init__(
         self,
@@ -34,21 +40,34 @@ class FailureDetector:
         self.suspect_after = suspect_after
         self._targets: dict[str, tuple[IOR, Callable[[str, IOR], None]]] = {}
         self._misses: dict[str, int] = {}
+        #: keys currently under suspicion (cleared by a successful ping).
+        self._suspect_flags: set[str] = set()
         self._process: Optional["Process"] = None
         self.pings = 0
+        #: every suspicion event, in order (a flapping target appears once
+        #: per down phase — the re-suspicion regression guard).
         self.suspected: list[str] = []
+        #: suspicions cleared by a later successful ping.
+        self.recovered_targets = 0
 
     def watch(
         self, key: str, ior: IOR, on_suspect: Callable[[str, IOR], None]
     ) -> None:
+        """(Re-)register ``key``; re-watching resets its suspicion state
+        (promotion re-points the watch at the new primary's IOR)."""
         self._targets[key] = (ior, on_suspect)
         self._misses[key] = 0
+        self._suspect_flags.discard(key)
         if self._process is None or self._process.is_done:
             self._process = self.orb.host.spawn(self._run(), name="ft-detector")
 
     def unwatch(self, key: str) -> None:
         self._targets.pop(key, None)
         self._misses.pop(key, None)
+        self._suspect_flags.discard(key)
+
+    def is_suspected(self, key: str) -> bool:
+        return key in self._suspect_flags
 
     def stop(self) -> None:
         if self._process is not None:
@@ -69,11 +88,22 @@ class FailureDetector:
                     alive = yield self.orb.locate(ior)
                     if alive:
                         self._misses[key] = 0
+                        if key in self._suspect_flags:
+                            # The target answered again: clear the suspicion
+                            # so a later down phase is re-reported.
+                            self._suspect_flags.discard(key)
+                            self.recovered_targets += 1
+                            sim.trace.emit(
+                                "ft", "detector cleared suspicion", key=key
+                            )
                         continue
                     self._misses[key] = self._misses.get(key, 0) + 1
-                    if self._misses[key] >= self.suspect_after:
+                    if (
+                        self._misses[key] >= self.suspect_after
+                        and key not in self._suspect_flags
+                    ):
+                        self._suspect_flags.add(key)
                         self.suspected.append(key)
-                        self.unwatch(key)
                         on_suspect(key, ior)
         except ProcessKilled:
             raise

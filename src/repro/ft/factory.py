@@ -24,6 +24,10 @@ module FT {
     interface ObjectFactory {
         // Instantiate and activate a servant of a registered type.
         Object create(in string type_name) raises (UnknownType);
+        // Instantiate a replica-group member: the servant is wrapped for
+        // request-id duplicate suppression before activation.
+        Object create_member(in string type_name, in string group_id)
+            raises (UnknownType);
         // Deactivate an object previously created by this factory.
         void destroy_object(in Object reference);
         sequence<string> supported_types();
@@ -42,9 +46,13 @@ ObjectFactorySkeleton = ns.ObjectFactorySkeleton
 class ObjectFactoryServant(ObjectFactorySkeleton):
     """Instantiates registered servant types on its host."""
 
-    def __init__(self) -> None:
+    def __init__(self, member_listener: Callable | None = None) -> None:
         self._types: dict[str, Callable[[], "Servant"]] = {}
         self.created = 0
+        self.members_created = 0
+        #: called with every ReplicatedServant this factory activates —
+        #: the chaos campaign uses it to audit post-retirement applies.
+        self._member_listener = member_listener
 
     def register_type(
         self, type_name: str, factory: Callable[[], "Servant"]
@@ -60,6 +68,21 @@ class ObjectFactoryServant(ObjectFactorySkeleton):
         servant = maker()
         self.created += 1
         return self._poa.activate(servant)  # type: ignore[union-attr]
+
+    def create_member(self, type_name, group_id):
+        from repro.ft.replication import ReplicatedServant
+
+        maker = self._types.get(type_name)
+        if maker is None:
+            raise UnknownType(type_name=type_name)
+        member = ReplicatedServant(maker(), group_id)
+        self.created += 1
+        self.members_created += 1
+        ior = self._poa.activate(member)  # type: ignore[union-attr]
+        member.adopt(ior)
+        if self._member_listener is not None:
+            self._member_listener(member)
+        return ior
 
     def destroy_object(self, reference):
         try:

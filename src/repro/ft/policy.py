@@ -16,6 +16,11 @@ CHECKPOINT_FAILURE_MODES = ("raise", "ignore", "degraded")
 #: recognised checkpoint execution modes.
 CHECKPOINT_MODES = ("sync", "pipelined")
 
+#: recognised fault-tolerance modes.  "checkpoint" is the paper's
+#: checkpoint/restart design; the replication modes are the first-class
+#: alternatives the paper argued against on resource grounds (§2).
+FT_MODES = ("checkpoint", "warm-passive", "active")
+
 
 @dataclass
 class FtPolicy:
@@ -85,6 +90,23 @@ class FtPolicy:
     #: in delta mode, ship a full snapshot every k-th checkpoint so the
     #: server-side restore chain stays bounded (at most k records).
     checkpoint_full_interval: int = 8
+    #: fault-tolerance design: "checkpoint" (paper's checkpoint/restart),
+    #: "warm-passive" (primary executes, ships state to standbys, fast
+    #: promotion without a store round-trip) or "active" (all replicas
+    #: execute, replies are majority-voted).
+    ft_mode: str = "checkpoint"
+    #: replicas per group in the replication modes (primary + standbys
+    #: for warm-passive; voters for active).
+    replication_factor: int = 2
+    #: matching replies required for an active-mode vote; ``None`` means
+    #: a strict majority of ``replication_factor``.
+    vote_quorum: Optional[int] = None
+    #: locate-ping interval of the per-group FailureDetector watching the
+    #: warm-passive primary; 0 disables proactive detection (failover then
+    #: triggers only on a failed call).
+    detector_interval: float = 0.0
+    #: consecutive missed locate-pings before the detector suspects.
+    detector_suspect_after: int = 2
 
     def __post_init__(self) -> None:
         if self.checkpoint_interval < 1:
@@ -127,6 +149,29 @@ class FtPolicy:
             raise ConfigurationError("checkpoint_pipeline_depth must be >= 1")
         if self.checkpoint_full_interval < 1:
             raise ConfigurationError("checkpoint_full_interval must be >= 1")
+        if self.ft_mode not in FT_MODES:
+            raise ConfigurationError(
+                f"ft_mode must be one of {FT_MODES}, got {self.ft_mode!r}"
+            )
+        if self.replication_factor < 2 and self.ft_mode != "checkpoint":
+            raise ConfigurationError(
+                "replication_factor must be >= 2 in replication modes"
+            )
+        if self.vote_quorum is not None:
+            if not 1 <= self.vote_quorum <= self.replication_factor:
+                raise ConfigurationError(
+                    "vote_quorum must be within 1..replication_factor"
+                )
+        if self.detector_interval < 0:
+            raise ConfigurationError("detector_interval must be >= 0")
+        if self.detector_suspect_after < 1:
+            raise ConfigurationError("detector_suspect_after must be >= 1")
+
+    def effective_quorum(self) -> int:
+        """Matching replies an active-mode vote needs (default: majority)."""
+        if self.vote_quorum is not None:
+            return self.vote_quorum
+        return self.replication_factor // 2 + 1
 
     def backoff_delay(self, previous: float, rng) -> float:
         """Next retry pause given the ``previous`` one.

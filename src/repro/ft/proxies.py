@@ -96,6 +96,9 @@ class FtContext:
     recovery: Optional[RecoveryCoordinator] = None
     policy: FtPolicy = field(default_factory=FtPolicy)
     group_name: Optional[str] = None
+    #: replica group (built by the proxy when ``policy.ft_mode`` selects
+    #: a replication mode; None on the paper's checkpoint path).
+    group: Optional[object] = None
     # runtime counters
     calls: int = 0
     checkpoints_taken: int = 0
@@ -168,6 +171,10 @@ class _FtProxyBase:
         ObjectStub.__init__(self, orb, ior)
         self._ft = ft
         self._ft_lock = Lock(orb.sim, name=f"ft:{ft.key}")
+        if ft.policy.ft_mode != "checkpoint" and ft.group is None:
+            from repro.ft.replication import build_group
+
+            ft.group = build_group(self)
 
     # -- the wrapped invocation path ------------------------------------------------
 
@@ -200,6 +207,15 @@ class _FtProxyBase:
         with obs.tracer.span(
             f"ft:{operation}", host=self._orb.host.name, service=ft.key
         ) as span:
+            if ft.group is not None:
+                # Replication modes: the group owns retry, failover and
+                # state transfer; no checkpoint store is involved.
+                span.set_attr("mode", policy.ft_mode)
+                result = yield from ft.group.call(operation, args)
+                ft.calls += 1
+                obs.metrics.counter("ft_calls_total", service=ft.key).inc()
+                outer.try_succeed(result)
+                return
             if ft._pipeline_error is not None:
                 error = ft._pipeline_error
                 ft._pipeline_error = None
@@ -553,6 +569,27 @@ class _FtProxyBase:
 
     # -- manual controls (used by migration and tests) ----------------------------------
 
+    def provision_now(self) -> "SimFuture":
+        """Provision the replica group eagerly (replication modes) instead
+        of on the first wrapped call.  A no-op in checkpoint mode."""
+        orb = self._orb
+        outer = orb.sim.future(label=f"ft-provision:{self._ft.key}")
+
+        def run():
+            yield self._ft_lock.acquire()
+            try:
+                if self._ft.group is not None:
+                    yield from self._ft.group.ensure_provisioned()
+            finally:
+                self._ft_lock.release()
+            outer.try_succeed(None)
+
+        process = orb.host.spawn(run(), name="ft-provision")
+        process.add_done_callback(
+            lambda p: outer.try_fail(p.exception) if p.failed else None
+        )
+        return outer
+
     def checkpoint_now(self) -> "SimFuture":
         """Force an immediate synchronous checkpoint of the current server
         state (in pipelined mode, after draining in-flight stores)."""
@@ -583,6 +620,8 @@ class _FtProxyBase:
             yield self._ft_lock.acquire()
             try:
                 yield from self._drain_pipeline()
+                if self._ft.group is not None:
+                    yield from self._ft.group.drain()
             finally:
                 self._ft_lock.release()
             outer.try_succeed(None)

@@ -87,6 +87,9 @@ class RecoveryCoordinator:
         self.factory_failures = 0
         self.breaker_skips = 0
         self.deadline_failures = 0
+        #: replica-group provisioning (replication modes).
+        self.replica_provisions = 0
+        self.replica_provision_failures = 0
 
     # -- main entry point -----------------------------------------------------
 
@@ -257,6 +260,113 @@ class RecoveryCoordinator:
             f"recovery of {context.key} failed after "
             f"{self.policy.max_recover_attempts} attempts"
         ) from last_error
+
+    # -- replica-group provisioning (replication modes) ---------------------------
+
+    def provision_member(
+        self,
+        context,
+        group_id: str,
+        exclude_hosts: frozenset = frozenset(),
+        seed_state=None,
+    ):
+        """Generator: create one replica-group member via the factory
+        group, preferring hosts outside ``exclude_hosts`` (replicas on
+        distinct hosts are the whole point of a group).
+
+        Seeds the new member with ``seed_state`` when given — a raw
+        servant checkpoint or a member-state envelope; either way no
+        checkpoint-store round trip is involved.  Returns the member's
+        IOR, or None when no factory host worked (the group degrades
+        redundancy instead of failing the wrapped call).
+        """
+        sim = self.orb.sim
+        policy = self.policy
+        rng = sim.rng("ft-backoff")
+        last_error: Optional[BaseException] = None
+        delay = 0.0
+        for attempt in range(policy.max_recover_attempts):
+            if attempt:
+                delay = policy.backoff_delay(delay, rng)
+                yield sim.timeout(delay)
+            self.attempts_total += 1
+            try:
+                factories = yield self.naming.resolve_all(self.factory_group)
+            except naming_idl.NotFound as exc:
+                raise RecoveryError(
+                    f"factory group {self.factory_group!r} is not bound"
+                ) from exc
+            preferred = [
+                ior for ior in factories if ior.host not in exclude_hosts
+            ]
+            for factory_ior in preferred or list(factories):
+                if self.breakers is not None and not self.breakers.allow(
+                    factory_ior.host
+                ):
+                    self.breaker_skips += 1
+                    sim.obs.metrics.counter(
+                        "ft_recovery_breaker_skips_total",
+                        host=factory_ior.host,
+                    ).inc()
+                    continue
+                factory = self.orb.stub(factory_ior, ObjectFactoryStub)
+                try:
+                    member_ior = yield factory.create_member(
+                        context.type_name, group_id
+                    )
+                except UnknownType as exc:
+                    raise RecoveryError(
+                        f"no factory knows type {context.type_name!r}"
+                    ) from exc
+                except RECOVERABLE as exc:
+                    last_error = exc
+                    self.factory_failures += 1
+                    if self.breakers is not None and isinstance(
+                        exc, HOST_BLAMING
+                    ):
+                        self.breakers.record_failure(factory_ior.host)
+                    yield from self._drop_replica(
+                        self.factory_group, factory_ior
+                    )
+                    continue
+                if self.breakers is not None:
+                    self.breakers.record_success(factory_ior.host)
+                if seed_state is not None:
+                    from repro.ft.checkpointable import CheckpointableStub
+
+                    restore_info = CheckpointableStub.__operations__[
+                        "restore_from"
+                    ]
+                    try:
+                        yield self.orb.invoke(
+                            member_ior, restore_info, (seed_state,)
+                        )
+                    except RECOVERABLE as exc:
+                        last_error = exc
+                        if self.breakers is not None and isinstance(
+                            exc, HOST_BLAMING
+                        ):
+                            self.breakers.record_failure(member_ior.host)
+                        continue
+                self.replica_provisions += 1
+                sim.obs.metrics.counter(
+                    "ft_replica_provisions_total", group=group_id
+                ).inc()
+                sim.trace.emit(
+                    "ft",
+                    "replica member provisioned",
+                    group=group_id,
+                    host=member_ior.host,
+                )
+                return member_ior
+        self.replica_provision_failures += 1
+        sim.trace.emit(
+            "ft",
+            "replica provisioning failed",
+            group=group_id,
+            error=type(last_error).__name__ if last_error else None,
+        )
+        return None
 
     # -- steps -------------------------------------------------------------------
 

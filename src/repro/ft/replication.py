@@ -1,146 +1,1124 @@
-"""Replication baselines: the designs the paper argues *against*.
+"""First-class replication groups: warm-passive and active FT.
 
 "Especially for applications with a maximum degree of parallelism ... it
 is not desirable to use a large amount of the computational resources
 (i.e. hosts in the network) exclusively for availability purposes as in
 the case of active replication." (§3)
 
-To make that argument measurable, both group styles are implemented:
+The paper makes that argument and then builds checkpoint/restart.  To
+make the trade *measurable* the alternatives are implemented for real —
+not as bench mock-ups but as proxy-integrated replication modes selected
+by :class:`~repro.ft.policy.FtPolicy.ft_mode`:
 
-* :class:`ActiveReplicationGroup` — every call goes to all replicas, the
-  first successful reply wins (Piranha-style active replication).  Burns
-  ~r× CPU for the same answer.
-* :class:`PassiveReplicationGroup` — calls go to the primary; after each
-  call the primary's state is transferred to every backup; on primary
-  failure a backup is promoted (IGOR-style warm passive replication).
+* **warm-passive** (:class:`WarmPassiveGroup`) — the primary executes,
+  its post-call state is shipped to warm standbys (reusing the delta /
+  pipelined machinery of the checkpoint fast path); on a failed call or
+  a FailureDetector suspicion a standby is *promoted* without any
+  checkpoint-store round trip.
+* **active** (:class:`ActiveGroup`) — every replica executes every call;
+  replies are majority-voted, so up to ``r - quorum`` failures are masked
+  with zero failover latency at ~r× the CPU cost.
+
+Exactly-once is carried by a **logical request id** in a GIOP service
+context: every server-side replica is wrapped in a
+:class:`ReplicatedServant` that suppresses duplicate applies per request
+id, and the reply cache *travels inside the shipped state*, so a standby
+promoted (or a replacement seeded) mid-retry still refuses to re-apply a
+request its lineage has already seen.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, TYPE_CHECKING
+import inspect
+from dataclasses import dataclass
+from typing import Optional, TYPE_CHECKING
 
-from repro.errors import COMM_FAILURE, RecoveryError, SystemException
-from repro.orb.stubs import ObjectStub
+from repro.errors import (
+    ConfigurationError,
+    RecoveryError,
+    UserException,
+)
+from repro.ft.checkpointable import CHECKPOINT_OPERATIONS, CheckpointableStub
+from repro.ft.detector import FailureDetector
+from repro.ft.recovery import RECOVERABLE
+from repro.orb.cdr import AnyEncodeMemo, encode_any
+from repro.orb.core import Servant
+from repro.services.checkpoint import (
+    BadDeltaBase,
+    apply_delta,
+    compute_delta,
+    state_digest,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.orb.core import Orb
     from repro.orb.ior import IOR
     from repro.sim.events import SimFuture
 
+#: GIOP service context carrying the logical request id ("FTRQ").
+REQUEST_ID_SERVICE_CONTEXT = 0x46545251
 
-class _GroupBase:
-    def __init__(self, orb: "Orb", stub_class: type, replicas: Sequence["IOR"]) -> None:
-        if not replicas:
-            raise RecoveryError("replication group needs at least one replica")
-        self._orb = orb
-        self._stub_class = stub_class
-        self._stubs = [orb.stub(ior, stub_class) for ior in replicas]
+#: key marking a state payload as a member-state envelope (inner state +
+#: reply cache) rather than a raw servant checkpoint.
+MEMBER_STATE_MARK = "__ft_member_state__"
+
+#: key marking a state ship as a delta against the standby's acked state.
+SHIP_DELTA_MARK = "__ft_ship_delta__"
+
+#: replies remembered per replica.  The per-proxy FIFO lock admits one
+#: logical request at a time, so a small window is enough to cover every
+#: retry of the requests that can still be in flight.
+REPLY_CACHE_LIMIT = 32
+
+
+class ReplicatedServant(Servant):
+    """Server-side wrapper giving any servant exactly-once semantics.
+
+    Created by the factory's ``create_member``: delegates every IDL
+    operation to the wrapped servant, but when the request carries a
+    logical request id (the replication proxies always attach one) the
+    apply is recorded per id — a retried request returns the cached reply
+    instead of executing twice.  ``get_checkpoint``/``restore_from`` wrap
+    and unwrap the reply cache together with the inner state, so the
+    dedup history survives state ships, promotions and re-seeding.
+    """
+
+    def __init__(self, inner: Servant, group_id: str) -> None:
+        # _inner must exist before anything else: __getattr__ consults it.
+        self._inner = inner
+        self.group_id = group_id
+        self.__operations__ = dict(type(inner).__operations__)
+        self.__repo_id__ = inner.__repo_id__
+        self.ior: Optional["IOR"] = None
+        #: request id → cached reply (insertion-ordered, bounded).
+        self._replies: dict = {}
+        #: request id → future of an apply still executing (a racing
+        #: duplicate waits on it instead of starting a second apply).
+        self._inflight: dict = {}
+        self._ship_base: Optional[dict] = None
+        self._ship_digest: Optional[str] = None
+        # audit counters (the chaos no-stale-primary invariant reads the
+        # timestamps; the report aggregates the rest).
+        self.dispatches = 0
+        self.applies = 0
+        self.duplicates_suppressed = 0
+        self.state_restores = 0
+        #: highest request sequence number ever delivered here — compared
+        #: against the group's seq-at-retirement to detect stale sends.
+        self.last_request_seq = 0
+        self.last_dispatch_at: Optional[float] = None
+        self.last_applied_at: Optional[float] = None
+
+    def adopt(self, ior: "IOR") -> None:
+        """Record the activated IOR and mirror the POA plumbing onto the
+        inner servant so its ``_this()``/``_host()`` keep working."""
+        self.ior = ior
+        self._inner._poa = self._poa
+        self._inner._object_key = self._object_key
+
+    def __getattr__(self, name: str):
+        if name.startswith("__"):
+            raise AttributeError(name)
+        inner = self.__dict__.get("_inner")
+        if inner is None:
+            raise AttributeError(name)
+        operations = self.__dict__.get("__operations__") or {}
+        if name in operations and name not in CHECKPOINT_OPERATIONS:
+            return self._operation_dispatcher(name)
+        return getattr(inner, name)
+
+    def _operation_dispatcher(self, operation: str):
+        inner_method = getattr(self._inner, operation)
+
+        def dispatch(*args):
+            orb = self._poa.orb  # type: ignore[union-attr]
+            self.dispatches += 1
+            self.last_dispatch_at = orb.sim.now
+            request_key = None
+            # Synchronous prefix of the dispatch: the ORB set
+            # current_service_contexts immediately before calling us.
+            for context_id, data in orb.current_service_contexts:
+                if context_id == REQUEST_ID_SERVICE_CONTEXT:
+                    request_key = bytes(data).decode("utf-8")
+                    break
+            if request_key is None:
+                # Direct (unreplicated) caller: nothing to dedup against.
+                return inner_method(*args)
+            seq = request_key.rsplit(":", 1)[-1]
+            if seq.isdigit():
+                self.last_request_seq = max(
+                    self.last_request_seq, int(seq)
+                )
+            return self._deduped(request_key, operation, inner_method, args)
+
+        dispatch.__name__ = operation
+        return dispatch
+
+    def _deduped(self, request_key: str, operation: str, inner_method, args):
+        """Generator: apply ``operation`` at most once per request id."""
+        sim = self._poa.orb.sim  # type: ignore[union-attr]
+        while True:
+            if request_key in self._replies:
+                self.duplicates_suppressed += 1
+                sim.obs.metrics.counter(
+                    "ft_duplicates_suppressed_total", group=self.group_id
+                ).inc()
+                sim.trace.emit(
+                    "ft",
+                    "duplicate request suppressed",
+                    group=self.group_id,
+                    request=request_key,
+                    operation=operation,
+                )
+                return self._replies[request_key]
+            inflight = self._inflight.get(request_key)
+            if inflight is not None:
+                # A retry raced the original execution: wait, then
+                # re-check (a failed apply leaves no cached reply, so the
+                # retry executes; a successful one hits the cache above).
+                yield inflight
+                continue
+            # analysis: atomic-begin(register-inflight)
+            # Registering the in-flight marker must not yield — a racing
+            # duplicate could otherwise start a second apply.
+            future = sim.future(label=f"ft-apply:{request_key}")
+            self._inflight[request_key] = future
+            # analysis: atomic-end(register-inflight)
+            try:
+                result = inner_method(*args)
+                if inspect.isgenerator(result):
+                    result = yield from result
+                # analysis: atomic-begin(record-reply)
+                # Reply recording happens before any waiter resumes (done
+                # callbacks run at the next scheduler step).
+                self._replies[request_key] = result
+                self.applies += 1
+                self.last_applied_at = sim.now
+                while len(self._replies) > REPLY_CACHE_LIMIT:
+                    self._replies.pop(next(iter(self._replies)))
+                # analysis: atomic-end(record-reply)
+                return result
+            finally:
+                if self._inflight.get(request_key) is future:
+                    del self._inflight[request_key]
+                future.try_succeed(None)
+
+    # -- state transfer (the envelope carries the reply cache) ---------------------
+
+    def _wrap_state(self, state) -> dict:
+        return {
+            MEMBER_STATE_MARK: 1,
+            "state": state,
+            "replies": dict(self._replies),
+        }
+
+    def get_checkpoint(self):
+        result = self._inner.get_checkpoint()
+        if inspect.isgenerator(result):
+            return self._capture_checkpoint(result)
+        return self._wrap_state(result)
+
+    def _capture_checkpoint(self, gen):
+        state = yield from gen
+        return self._wrap_state(state)
+
+    def restore_from(self, payload):
+        digest: Optional[str] = None
+        if isinstance(payload, dict) and SHIP_DELTA_MARK in payload:
+            envelope = payload
+            if (
+                self._ship_base is None
+                or self._ship_digest != envelope.get("base")
+            ):
+                # Our acked state is not the delta's base (we missed a
+                # ship): the group falls back to a full state transfer.
+                raise BadDeltaBase(key=self.group_id, expected=0, got=0)
+            payload = apply_delta(self._ship_base, envelope[SHIP_DELTA_MARK])
+            digest = envelope.get("target")
+        if isinstance(payload, dict) and MEMBER_STATE_MARK in payload:
+            self._ship_base = payload
+            self._ship_digest = (
+                digest
+                if digest is not None
+                else state_digest(encode_any(payload))
+            )
+            self._replies = dict(payload.get("replies") or {})
+            inner_state = payload.get("state")
+        else:
+            # Raw servant state (e.g. seeded straight from the origin
+            # object at provisioning): no dedup history travels with it.
+            self._ship_base = None
+            self._ship_digest = None
+            self._replies = {}
+            inner_state = payload
+        self.state_restores += 1
+        return self._inner.restore_from(inner_state)
+
+    def snapshot(self) -> dict:
+        return {
+            "group": self.group_id,
+            "host": self.ior.host if self.ior is not None else None,
+            "dispatches": self.dispatches,
+            "applies": self.applies,
+            "duplicates_suppressed": self.duplicates_suppressed,
+            "state_restores": self.state_restores,
+            "last_request_seq": self.last_request_seq,
+        }
+
+
+class _Member:
+    """One replica: its IOR plus the digest of the last state it acked."""
+
+    __slots__ = ("ior", "acked_digest")
+
+    def __init__(
+        self, ior: "IOR", acked_digest: Optional[str] = None
+    ) -> None:
+        self.ior = ior
+        self.acked_digest = acked_digest
+
+
+@dataclass
+class _PendingShip:
+    """One captured state waiting to reach the standbys."""
+
+    payload: dict
+    digest: str
+    data_len: int
+    delta: Optional[dict] = None
+    delta_bytes: int = 0
+    base_digest: Optional[str] = None
+    future: Optional["SimFuture"] = None
+
+
+class ReplicaGroup:
+    """Client-side replica-group machinery shared by both modes.
+
+    Built lazily by the FT proxy when ``policy.ft_mode`` selects a
+    replication mode; all entry points run under the proxy's FIFO lock,
+    so group state never sees two logical requests interleaved.
+    """
+
+    mode = "?"
+
+    def __init__(self, proxy) -> None:
+        ft = proxy._ft
+        if ft.recovery is None:
+            raise ConfigurationError(
+                f"ft_mode={ft.policy.ft_mode!r} needs a recovery coordinator"
+                " (the factory group provisions the replicas)"
+            )
+        self._proxy = proxy
+        self._orb = proxy._orb
+        self._ft = ft
+        self._policy = ft.policy
+        self._recovery = ft.recovery
+        self.members: list[_Member] = []
+        #: ``(ior, sim-time, request-seq)`` of every member removed from
+        #: the group — the chaos ``no-stale-primary`` invariant compares a
+        #: replica's highest delivered request seq against the seq issued
+        #: by the time it was retired (a higher one means a *new* request
+        #: reached a dead incarnation after failover).
+        self.retired: list[tuple["IOR", float, int]] = []
+        self.provisioned = False
+        self._request_seq = 0
+        self._encode_memo = AnyEncodeMemo()
+        #: newest captured member-state envelope — promotion sync and
+        #: replacement seeding use it instead of any checkpoint store.
+        self._last_payload: Optional[dict] = None
+        self._last_digest: Optional[str] = None
+        self._detector: Optional[FailureDetector] = None
+        self._replacing = False
+        # counters (surfaced through runtime_report's replication section)
         self.calls = 0
-
-    @property
-    def replica_count(self) -> int:
-        return len(self._stubs)
-
-    @property
-    def replica_hosts(self) -> list[str]:
-        return [stub.ior.host for stub in self._stubs]
-
-
-class ActiveReplicationGroup(_GroupBase):
-    """Invoke on every replica; first successful reply wins.
-
-    Masks up to r-1 failures with zero recovery latency — at the price of
-    executing every call r times.
-    """
-
-    def invoke(self, operation: str, args: tuple = ()) -> "SimFuture":
-        outer = self._orb.sim.future(label=f"active:{operation}")
-        process = self._orb.host.spawn(
-            self._invoke_proc(operation, args, outer), name=f"active:{operation}"
-        )
-        process.add_done_callback(
-            lambda p: outer.try_fail(p.exception) if p.failed else None
-        )
-        return outer
-
-    def _invoke_proc(self, operation: str, args: tuple, outer):
-        self.calls += 1
-        sim = self._orb.sim
-        futures = [
-            ObjectStub._invoke(stub, operation, args) for stub in self._stubs
-        ]
-        try:
-            # any_of succeeds with the first reply and fails only once
-            # every replica has failed.
-            _index, value = yield sim.any_of(futures)
-        except SystemException as exc:
-            outer.try_fail(exc)
-            return
-        outer.try_succeed(value)
-
-
-class PassiveReplicationGroup(_GroupBase):
-    """Primary + warm backups with per-call state transfer.
-
-    After each successful call the primary's checkpoint is pushed to every
-    backup (``restore_from``), so any backup can take over at the last
-    completed call.  On primary failure the first reachable backup is
-    promoted.
-    """
-
-    def __init__(self, orb, stub_class, replicas) -> None:
-        super().__init__(orb, stub_class, replicas)
-        self.primary_index = 0
         self.promotions = 0
-        self.state_transfers = 0
+        self.lead_changes = 0
+        self.state_ships_full = 0
+        self.state_ships_delta = 0
+        self.ship_skips = 0
+        self.ship_bytes = 0
+        self.delta_fallbacks = 0
+        self.replacements = 0
+        self.replacement_failures = 0
+        self.votes = 0
+        self.vote_rounds = 0
+        self.divergences = 0
+        self.resyncs = 0
+
+    # -- identity and plumbing ------------------------------------------------------
 
     @property
-    def primary_host(self) -> str:
-        return self._stubs[self.primary_index].ior.host
+    def group_id(self) -> str:
+        return self._ft.key
 
-    def invoke(self, operation: str, args: tuple = ()) -> "SimFuture":
-        outer = self._orb.sim.future(label=f"passive:{operation}")
-        process = self._orb.host.spawn(
-            self._invoke_proc(operation, args, outer), name=f"passive:{operation}"
-        )
-        process.add_done_callback(
-            lambda p: outer.try_fail(p.exception) if p.failed else None
-        )
-        return outer
+    def _op_info(self, operation: str):
+        operations = type(self._proxy).__operations__
+        if operation in operations:
+            return operations[operation]
+        return CheckpointableStub.__operations__[operation]
 
-    def _invoke_proc(self, operation: str, args: tuple, outer):
-        self.calls += 1
-        attempts = 0
-        while attempts < len(self._stubs):
-            primary = self._stubs[self.primary_index]
-            try:
-                result = yield ObjectStub._invoke(primary, operation, args)
-            except (COMM_FAILURE, SystemException):
-                attempts += 1
-                self._promote()
-                continue
-            yield from self._sync_backups(primary)
-            outer.try_succeed(result)
+    def _invoke(
+        self, ior: "IOR", operation: str, args: tuple, contexts: tuple = ()
+    ) -> "SimFuture":
+        return self._orb.invoke(
+            ior, self._op_info(operation), args, service_contexts=contexts
+        )
+
+    def _next_request_context(self) -> tuple:
+        self._request_seq += 1
+        request_key = f"{self._ft.key}:{self._request_seq}"
+        return ((REQUEST_ID_SERVICE_CONTEXT, request_key.encode("utf-8")),)
+
+    # -- provisioning ---------------------------------------------------------------
+
+    def ensure_provisioned(self):
+        """Generator: build the replica group on first use (lock held).
+
+        Seeds every member from the origin object's *raw* checkpoint, then
+        retires the origin from the naming group in favour of the lead.
+        Yield-free once provisioned.
+        """
+        if self.provisioned:
             return
-        outer.try_fail(RecoveryError("all replicas of the group failed"))
-
-    def _promote(self) -> None:
-        self.primary_index = (self.primary_index + 1) % len(self._stubs)
-        self.promotions += 1
-        self._orb.sim.trace.emit(
-            "ft", "passive group promoted", primary=self.primary_host
+        sim = self._orb.sim
+        proxy = self._proxy
+        origin = proxy.ior
+        sim.trace.emit(
+            "ft",
+            "provisioning replica group",
+            group=self.group_id,
+            mode=self.mode,
+            factor=self._policy.replication_factor,
+        )
+        try:
+            seed = yield self._invoke(origin, "get_checkpoint", ())
+        except RECOVERABLE:
+            seed = None  # origin already dead: members start fresh
+        # Replicas avoid the caller's host (a soft preference — the
+        # factory group falls back to it when nothing else is alive):
+        # co-locating a replica with the client voids its independence.
+        exclude: set[str] = {self._orb.host.name}
+        while len(self.members) < self._policy.replication_factor:
+            member_ior = yield from self._recovery.provision_member(
+                self._ft,
+                self.group_id,
+                exclude_hosts=frozenset(exclude),
+                seed_state=seed,
+            )
+            if member_ior is None:
+                if len(self.members) >= 2:
+                    break  # degraded redundancy is still a group
+                raise RecoveryError(
+                    f"cannot provision replica group {self.group_id}: only"
+                    f" {len(self.members)} member(s) could be created"
+                )
+            exclude.add(member_ior.host)
+            self.members.append(_Member(member_ior))
+        self.provisioned = True
+        lead = self.members[0].ior
+        yield from self._recovery._swap_group_binding(self._ft, origin, lead)
+        proxy._rebind(lead)
+        self._watch_lead()
+        sim.obs.metrics.gauge(
+            "ft_replica_group_size", group=self.group_id
+        ).set(len(self.members))
+        sim.trace.emit(
+            "ft",
+            "replica group provisioned",
+            group=self.group_id,
+            hosts=[member.ior.host for member in self.members],
         )
 
-    def _sync_backups(self, primary):
+    # -- failure detector -------------------------------------------------------------
+
+    def _watch_lead(self) -> None:
+        policy = self._policy
+        if policy.detector_interval <= 0 or not self.members:
+            return
+        if self._detector is None:
+            self._detector = FailureDetector(
+                self._orb,
+                interval=policy.detector_interval,
+                suspect_after=policy.detector_suspect_after,
+            )
+        self._detector.watch(
+            self.group_id, self.members[0].ior, self._on_lead_suspect
+        )
+
+    def _on_lead_suspect(self, key: str, ior: "IOR") -> None:
+        self._orb.host.spawn(
+            self._suspect_promote(ior), name=f"ft-suspect:{self.group_id}"
+        )
+
+    def _suspect_promote(self, ior: "IOR"):
+        yield self._proxy._ft_lock.acquire()
         try:
-            state = yield ObjectStub._invoke(primary, "get_checkpoint", ())
-        except SystemException:
-            return  # primary died right after replying; next call promotes
-        for index, stub in enumerate(self._stubs):
-            if index == self.primary_index:
-                continue
+            if self.members and self.members[0].ior == ior:
+                yield from self._handle_dead_lead("detector suspicion")
+        except RecoveryError:
+            self._orb.sim.trace.emit(
+                "ft", "proactive promotion failed", group=self.group_id
+            )
+        finally:
+            self._proxy._ft_lock.release()
+
+    def _handle_dead_lead(self, reason: str):
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    # -- membership -------------------------------------------------------------------
+
+    # analysis: atomic: retirement record + breaker + connection-cache invalidation form one indivisible step
+    def _retire(self, member: _Member, reason: str) -> None:
+        """Remove ``member`` and invalidate every cache naming its dead
+        incarnation, so no post-promotion call can reach it."""
+        sim = self._orb.sim
+        if member in self.members:
+            self.members.remove(member)
+        self.retired.append((member.ior, sim.now, self._request_seq))
+        breakers = self._recovery.breakers
+        if breakers is not None:
+            breakers.record_failure(member.ior.host)
+        if self._orb.connections is not None:
+            self._orb.connections.invalidate_endpoint(
+                (member.ior.host, member.ior.port, member.ior.incarnation)
+            )
+        sim.obs.metrics.counter(
+            "ft_replicas_retired_total", group=self.group_id
+        ).inc()
+        sim.obs.metrics.gauge(
+            "ft_replica_group_size", group=self.group_id
+        ).set(len(self.members))
+        sim.trace.emit(
+            "ft",
+            "replica retired",
+            group=self.group_id,
+            host=member.ior.host,
+            reason=reason,
+        )
+
+    def _capture_seed(self):
+        """Generator: payload to seed a replacement member with."""
+        yield from ()
+        return self._last_payload
+
+    def _replace_now(self):
+        """Generator: re-provision up to ``replication_factor`` (lock
+        held).  Failures degrade redundancy, never the caller's call."""
+        while len(self.members) < self._policy.replication_factor:
+            exclude = frozenset(
+                member.ior.host for member in self.members
+            ) | {self._orb.host.name}
+            seed = yield from self._capture_seed()
+            member_ior = yield from self._recovery.provision_member(
+                self._ft,
+                self.group_id,
+                exclude_hosts=exclude,
+                seed_state=seed,
+            )
+            if member_ior is None:
+                self.replacement_failures += 1
+                self._orb.sim.trace.emit(
+                    "ft", "replica replacement failed", group=self.group_id
+                )
+                return
+            acked = (
+                self._last_digest
+                if seed is not None and seed is self._last_payload
+                else None
+            )
+            self.members.append(_Member(member_ior, acked_digest=acked))
+            self.replacements += 1
+            self._orb.sim.obs.metrics.counter(
+                "ft_replacements_total", group=self.group_id
+            ).inc()
+            self._orb.sim.obs.metrics.gauge(
+                "ft_replica_group_size", group=self.group_id
+            ).set(len(self.members))
+
+    def _schedule_replacement(self) -> None:
+        """Backfill lost redundancy in the background (single-flight)."""
+        if (
+            self._replacing
+            or len(self.members) >= self._policy.replication_factor
+        ):
+            return
+        self._replacing = True
+        self._orb.host.spawn(
+            self._replace_bg(), name=f"ft-replace:{self.group_id}"
+        )
+
+    def _replace_bg(self):
+        yield self._proxy._ft_lock.acquire()
+        try:
+            yield from self._replace_now()
+        finally:
+            self._replacing = False
+            self._proxy._ft_lock.release()
+
+    # -- hooks for the proxy ------------------------------------------------------------
+
+    def call(self, operation: str, args: tuple):
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def drain(self):
+        """Generator: wait for background state transfers (if any)."""
+        yield from ()
+
+    def snapshot(self) -> dict:
+        return {
+            "mode": self.mode,
+            "group": self.group_id,
+            "members": len(self.members),
+            "member_hosts": [member.ior.host for member in self.members],
+            "retired": len(self.retired),
+            "calls": self.calls,
+            "promotions": self.promotions,
+            "lead_changes": self.lead_changes,
+            "state_ships_full": self.state_ships_full,
+            "state_ships_delta": self.state_ships_delta,
+            "ship_skips": self.ship_skips,
+            "ship_bytes": self.ship_bytes,
+            "delta_fallbacks": self.delta_fallbacks,
+            "replacements": self.replacements,
+            "replacement_failures": self.replacement_failures,
+            "votes": self.votes,
+            "vote_rounds": self.vote_rounds,
+            "divergences": self.divergences,
+            "resyncs": self.resyncs,
+        }
+
+
+class WarmPassiveGroup(ReplicaGroup):
+    """Primary executes; standbys hold shipped state; failover promotes.
+
+    The recovery path never touches the checkpoint store: the newest
+    member-state envelope lives client-side (``_last_payload``) and on
+    the standbys, so promotion is a naming swap plus (at most) one state
+    sync to the chosen standby.
+    """
+
+    mode = "warm-passive"
+
+    def __init__(self, proxy) -> None:
+        super().__init__(proxy)
+        #: FIFO of background ships (``checkpoint_mode="pipelined"``).
+        self._ship_inflight: list[_PendingShip] = []
+        self.ship_stalls = 0
+
+    def call(self, operation: str, args: tuple):
+        yield from self.ensure_provisioned()
+        policy = self._policy
+        obs = self._orb.sim.obs
+        self.calls += 1
+        contexts = self._next_request_context()
+        attempts = 0
+        while True:
+            if not self.members:
+                raise RecoveryError(
+                    f"replica group {self.group_id} has no members left"
+                )
+            primary = self.members[0]
             try:
-                yield ObjectStub._invoke(stub, "restore_from", (state,))
-                self.state_transfers += 1
-            except SystemException:
-                continue  # dead backup reduces redundancy, not correctness
+                result = yield self._invoke(
+                    primary.ior, operation, args, contexts
+                )
+            except RECOVERABLE as exc:
+                attempts += 1
+                self._ft.retries += 1
+                obs.metrics.counter(
+                    "ft_retries_total", service=self._ft.key
+                ).inc()
+                if attempts > policy.max_call_retries:
+                    raise RecoveryError(
+                        f"{operation} still failing after"
+                        f" {attempts - 1} failovers"
+                    ) from exc
+                yield from self._promote(
+                    primary, f"call failed: {type(exc).__name__}"
+                )
+                continue
+            # Capture the post-call state.  A primary dying between the
+            # reply and this capture loses nothing: the SAME request id is
+            # re-executed on the promoted standby, whose lineage has not
+            # applied it — duplicate suppression keeps it exactly-once on
+            # every lineage that has.
+            try:
+                payload = yield self._invoke(
+                    primary.ior, "get_checkpoint", ()
+                )
+            except RECOVERABLE as exc:
+                attempts += 1
+                self._ft.retries += 1
+                obs.metrics.counter(
+                    "ft_retries_total", service=self._ft.key
+                ).inc()
+                if attempts > policy.max_call_retries:
+                    raise RecoveryError(
+                        f"{operation}: state capture still failing after"
+                        f" {attempts - 1} failovers"
+                    ) from exc
+                yield from self._promote(
+                    primary, f"capture failed: {type(exc).__name__}"
+                )
+                continue
+            yield from self._ship_payload(payload)
+            return result
+
+    # -- state shipping ----------------------------------------------------------------
+
+    # analysis: atomic: digest bookkeeping + enqueue must not yield — a later capture interleaving would reorder ships
+    def _prepare_ship(self, payload) -> Optional[_PendingShip]:
+        data = self._encode_memo.encode(payload)
+        digest = state_digest(data)
+        if digest == self._last_digest:
+            self.ship_skips += 1
+            self._last_payload = payload
+            return None
+        delta = None
+        delta_bytes = 0
+        base_digest = self._last_digest
+        if self._policy.checkpoint_deltas and self._last_payload is not None:
+            candidate = compute_delta(self._last_payload, payload)
+            if candidate is not None:
+                delta_data = encode_any(candidate)
+                if len(delta_data) < len(data):
+                    delta = candidate
+                    delta_bytes = len(delta_data)
+        ship = _PendingShip(
+            payload=payload,
+            digest=digest,
+            data_len=len(data),
+            delta=delta,
+            delta_bytes=delta_bytes,
+            base_digest=base_digest,
+        )
+        self._last_payload = payload
+        self._last_digest = digest
+        return ship
+
+    def _ship_payload(self, payload):
+        if self._policy.checkpoint_mode == "pipelined":
+            # Backpressure mirrors the pipelined checkpoint path: a new
+            # capture stalls once the in-flight window is full.
+            while (
+                len(self._ship_inflight)
+                >= self._policy.checkpoint_pipeline_depth
+            ):
+                self.ship_stalls += 1
+                yield self._ship_inflight[0].future
+            ship = self._prepare_ship(payload)
+            if ship is None:
+                return
+            ship.future = self._orb.sim.future(
+                label=f"ft-ship:{self.group_id}"
+            )
+            prev = (
+                self._ship_inflight[-1].future
+                if self._ship_inflight
+                else None
+            )
+            self._ship_inflight.append(ship)
+            self._orb.host.spawn(
+                self._ship_bg(ship, prev), name=f"ft-ship:{self.group_id}"
+            )
+            return
+        ship = self._prepare_ship(payload)
+        if ship is None:
+            return
+        yield from self._ship_to_standbys(ship)
+
+    def _ship_bg(self, ship: _PendingShip, prev_future):
+        try:
+            if prev_future is not None:
+                yield prev_future  # FIFO: ships reach standbys in order
+            yield from self._ship_to_standbys(ship)
+        finally:
+            try:
+                self._ship_inflight.remove(ship)
+            except ValueError:
+                pass
+            ship.future.try_succeed(None)
+
+    def _ship_to_standbys(self, ship: _PendingShip):
+        obs = self._orb.sim.obs
+        for member in list(self.members[1:]):
+            if member not in self.members:
+                continue  # retired while this ship was in flight
+            if member.acked_digest == ship.digest:
+                continue
+            use_delta = (
+                ship.delta is not None
+                and ship.base_digest is not None
+                and member.acked_digest == ship.base_digest
+            )
+            try:
+                if use_delta:
+                    envelope = {
+                        SHIP_DELTA_MARK: ship.delta,
+                        "base": ship.base_digest,
+                        "target": ship.digest,
+                    }
+                    try:
+                        yield self._invoke(
+                            member.ior, "restore_from", (envelope,)
+                        )
+                    except BadDeltaBase:
+                        self.delta_fallbacks += 1
+                        yield self._invoke(
+                            member.ior, "restore_from", (ship.payload,)
+                        )
+                        self.state_ships_full += 1
+                        self.ship_bytes += ship.data_len
+                    else:
+                        self.state_ships_delta += 1
+                        self.ship_bytes += ship.delta_bytes
+                else:
+                    yield self._invoke(
+                        member.ior, "restore_from", (ship.payload,)
+                    )
+                    self.state_ships_full += 1
+                    self.ship_bytes += ship.data_len
+            # analysis: ignore[EXC003]: a dead standby reduces redundancy, not correctness — retired and backfilled in the background
+            except RECOVERABLE:
+                self._retire(member, "state ship failed")
+                self._schedule_replacement()
+                continue
+            member.acked_digest = ship.digest
+        obs.metrics.counter(
+            "ft_state_ships_total", group=self.group_id
+        ).inc()
+
+    def _drain_ships(self):
+        while self._ship_inflight:
+            yield self._ship_inflight[-1].future
+
+    def drain(self):
+        yield from self._drain_ships()
+
+    # -- failover ----------------------------------------------------------------------
+
+    def _handle_dead_lead(self, reason: str):
+        if self.members:
+            yield from self._promote(self.members[0], reason)
+
+    def _promote(self, dead: _Member, reason: str):
+        """Generator: fail over to a standby — no checkpoint-store round
+        trip; at most one state sync when the standby missed a ship."""
+        sim = self._orb.sim
+        started = sim.now
+        yield from self._drain_ships()
+        if dead in self.members:
+            self._retire(dead, reason)
+        candidate = self._pick_candidate()
+        while True:
+            if candidate is None:
+                # Last resort: every standby is gone too — re-provision
+                # from the client-held envelope (still no store involved).
+                member_ior = yield from self._recovery.provision_member(
+                    self._ft,
+                    self.group_id,
+                    exclude_hosts=frozenset((dead.ior.host,)),
+                    seed_state=self._last_payload,
+                )
+                if member_ior is None:
+                    raise RecoveryError(
+                        f"no standby left to promote in group"
+                        f" {self.group_id}"
+                    )
+                candidate = _Member(
+                    member_ior, acked_digest=self._last_digest
+                )
+                self.members.append(candidate)
+            if (
+                self._last_payload is not None
+                and candidate.acked_digest != self._last_digest
+            ):
+                # The standby missed the newest ship: sync it before it
+                # takes traffic (its reply cache rides in the envelope).
+                try:
+                    yield self._invoke(
+                        candidate.ior, "restore_from", (self._last_payload,)
+                    )
+                    candidate.acked_digest = self._last_digest
+                # analysis: ignore[EXC003]: the chosen standby is dead too — retired, and the loop picks the next candidate
+                except RECOVERABLE:
+                    self._retire(candidate, "promotion sync failed")
+                    candidate = self._pick_candidate()
+                    continue
+            break
+        if candidate in self.members:
+            self.members.remove(candidate)
+        self.members.insert(0, candidate)
+        # Naming swap: bind_service/unbind_service invalidate the resolve
+        # cache server-side, so no resolver can be handed the dead
+        # incarnation after this point.
+        yield from self._recovery._swap_group_binding(
+            self._ft, dead.ior, candidate.ior
+        )
+        self._proxy._rebind(candidate.ior)
+        self._watch_lead()
+        self.promotions += 1
+        elapsed = sim.now - started
+        sim.obs.metrics.counter(
+            "ft_promotions_total", group=self.group_id
+        ).inc()
+        sim.obs.metrics.histogram(
+            "ft_failover_seconds", group=self.group_id
+        ).observe(elapsed)
+        sim.trace.emit(
+            "ft",
+            "standby promoted",
+            group=self.group_id,
+            new_primary=candidate.ior.host,
+            reason=reason,
+            seconds=elapsed,
+        )
+        self._schedule_replacement()
+
+    def _pick_candidate(self) -> Optional[_Member]:
+        if not self.members:
+            return None
+        breakers = self._recovery.breakers
+        if breakers is not None:
+            for member in self.members:
+                # available() is the non-mutating view: picking a standby
+                # must not consume half-open probe slots.
+                if breakers.available(member.ior.host):
+                    return member
+        return self.members[0]
+
+
+class ActiveGroup(ReplicaGroup):
+    """Every replica executes every call; replies are quorum-voted.
+
+    Up to ``r - quorum`` replica failures are masked with zero failover
+    latency.  Votable outcomes are normal results *and* user exceptions
+    (a deterministic business error must win the vote, not trigger
+    recovery); RECOVERABLE failures count against nobody and retire the
+    replica.  Duplicate suppression makes a retried round idempotent on
+    every replica that already applied it.
+    """
+
+    mode = "active"
+
+    def call(self, operation: str, args: tuple):
+        yield from self.ensure_provisioned()
+        sim = self._orb.sim
+        policy = self._policy
+        self.calls += 1
+        contexts = self._next_request_context()
+        quorum = policy.effective_quorum()
+        attempts = 0
+        while True:
+            if not self.members:
+                raise RecoveryError(
+                    f"replica group {self.group_id} has no members left"
+                )
+            if len(self.members) < quorum:
+                # Not enough voters: replace first, then run the round.
+                yield from self._replace_now()
+                if len(self.members) < quorum:
+                    raise RecoveryError(
+                        f"group {self.group_id} cannot reach quorum"
+                        f" {quorum} with {len(self.members)} member(s)"
+                    )
+            outcome = yield from self._vote_round(
+                operation, args, contexts, quorum
+            )
+            if outcome is not None:
+                kind, value = outcome
+                if kind == "uexc":
+                    raise value
+                return value
+            attempts += 1
+            self._ft.retries += 1
+            sim.obs.metrics.counter(
+                "ft_retries_total", service=self._ft.key
+            ).inc()
+            if attempts > policy.max_call_retries:
+                raise RecoveryError(
+                    f"{operation}: no vote quorum after {attempts} round(s)"
+                    f" in group {self.group_id}"
+                )
+            yield from self._replace_now()
+
+    def _vote_round(
+        self, operation: str, args: tuple, contexts: tuple, quorum: int
+    ):
+        """Generator: one voting round.  Returns ``(kind, value)`` once
+        ``quorum`` identical votable outcomes agree, else None (the dead
+        voters have been retired; the caller replaces and retries)."""
+        sim = self._orb.sim
+        started = sim.now
+        self.vote_rounds += 1
+        cohort = list(self.members)
+        pending = [
+            self._outcome(member, operation, args, contexts)
+            for member in cohort
+        ]
+        results: list[tuple] = []
+        buckets: dict[str, int] = {}
+        values: dict[str, tuple] = {}
+        winner_key = None
+        while pending:
+            index, settled = yield sim.any_of(pending)
+            pending.pop(index)
+            results.append(settled)
+            _member, kind, payload = settled
+            if kind in ("ok", "uexc"):
+                key = f"{kind}:{payload!r}"
+                buckets[key] = buckets.get(key, 0) + 1
+                values[key] = (kind, payload)
+                if buckets[key] >= quorum:
+                    winner_key = key
+                    break
+        if winner_key is None:
+            # Everyone answered, nobody agreed with quorum strength.
+            # Retire the dead; surface a non-recoverable error directly
+            # (burning retry rounds on a MARSHAL bug helps no one).
+            hard_error = None
+            for member, kind, payload in results:
+                if kind != "err":
+                    continue
+                if isinstance(payload, RECOVERABLE):
+                    if member in self.members:
+                        self._retire(member, "vote: no reply")
+                elif hard_error is None:
+                    hard_error = payload
+            yield from self._rebind_lead()
+            if hard_error is not None and not any(
+                kind in ("ok", "uexc") for _m, kind, _p in results
+            ):
+                raise hard_error
+            return None
+        self.votes += 1
+        elapsed = sim.now - started
+        sim.obs.metrics.histogram(
+            "ft_vote_quorum_seconds", group=self.group_id
+        ).observe(elapsed)
+        # Stragglers settle in the background: the finisher retires dead
+        # members, resyncs divergent ones and backfills — after the
+        # caller has already resumed with the quorum value.
+        self._orb.host.spawn(
+            self._finish_round(pending, results, winner_key),
+            name=f"ft-vote-finish:{self.group_id}",
+        )
+        return values[winner_key]
+
+    def _outcome(
+        self, member: _Member, operation: str, args: tuple, contexts: tuple
+    ) -> "SimFuture":
+        """A future that always *succeeds* with ``(member, kind, payload)``
+        so a vote can aggregate replies and failures uniformly."""
+        sim = self._orb.sim
+        outcome = sim.future(label=f"ft-vote:{member.ior.host}")
+        inner = self._invoke(member.ior, operation, args, contexts)
+
+        def settle(future, member=member):
+            if not future.failed:
+                outcome.try_succeed((member, "ok", future.value))
+            elif isinstance(future.exception, UserException):
+                outcome.try_succeed((member, "uexc", future.exception))
+            else:
+                outcome.try_succeed((member, "err", future.exception))
+
+        inner.add_done_callback(settle)
+        return outcome
+
+    def _finish_round(self, pending: list, results: list, winner_key: str):
+        yield self._proxy._ft_lock.acquire()
+        try:
+            sim = self._orb.sim
+            while pending:
+                index, settled = yield sim.any_of(pending)
+                pending.pop(index)
+                results.append(settled)
+            winners = []
+            for member, kind, payload in results:
+                if (
+                    kind in ("ok", "uexc")
+                    and f"{kind}:{payload!r}" == winner_key
+                ):
+                    winners.append(member)
+            for member, kind, payload in results:
+                if member not in self.members or member in winners:
+                    continue
+                if kind == "err" and isinstance(payload, RECOVERABLE):
+                    self._retire(member, "vote: no reply")
+                    continue
+                # Divergent reply: the replica computed something else —
+                # resync its state (and reply cache) from a winner.
+                self.divergences += 1
+                sim.obs.metrics.counter(
+                    "ft_vote_divergences_total", group=self.group_id
+                ).inc()
+                yield from self._resync(member, winners)
+            yield from self._rebind_lead()
+            yield from self._replace_now()
+        finally:
+            self._proxy._ft_lock.release()
+
+    def _resync(self, member: _Member, winners: list):
+        source = next(
+            (winner for winner in winners if winner in self.members), None
+        )
+        if source is None:
+            self._retire(member, "divergent with no sync source")
+            return
+        try:
+            payload = yield self._invoke(source.ior, "get_checkpoint", ())
+            yield self._invoke(member.ior, "restore_from", (payload,))
+        # analysis: ignore[EXC003]: an unreachable divergent replica is retired — replacement restores redundancy
+        except RECOVERABLE:
+            self._retire(member, "divergence resync failed")
+            return
+        self.resyncs += 1
+
+    def _rebind_lead(self):
+        """Generator: keep naming + the proxy pointed at a live member
+        after the previous lead was retired."""
+        if not self.members:
+            return
+        lead = self.members[0].ior
+        current = self._proxy.ior
+        if current == lead:
+            return
+        self.lead_changes += 1
+        yield from self._recovery._swap_group_binding(
+            self._ft, current, lead
+        )
+        self._proxy._rebind(lead)
+        self._watch_lead()
+
+    def _capture_seed(self):
+        # A replacement voter needs current state *including* the reply
+        # cache, or a replayed round would double-apply on it.
+        for member in list(self.members):
+            try:
+                payload = yield self._invoke(
+                    member.ior, "get_checkpoint", ()
+                )
+            # analysis: ignore[EXC003]: seed capture tries each live member in turn; total failure falls back to the last client-held envelope
+            except RECOVERABLE:
+                continue
+            self._last_payload = payload
+            self._last_digest = None
+            return payload
+        return self._last_payload
+
+    def _handle_dead_lead(self, reason: str):
+        dead = self.members[0]
+        self._retire(dead, reason)
+        yield from self._rebind_lead()
+        yield from self._replace_now()
+
+
+def build_group(proxy) -> ReplicaGroup:
+    """Build the replica group matching the proxy's ``policy.ft_mode``."""
+    mode = proxy._ft.policy.ft_mode
+    if mode == "warm-passive":
+        return WarmPassiveGroup(proxy)
+    if mode == "active":
+        return ActiveGroup(proxy)
+    raise ConfigurationError(f"ft_mode {mode!r} does not use replica groups")

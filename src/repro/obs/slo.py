@@ -168,6 +168,22 @@ DEFAULT_SLOS: tuple[SloSpec, ...] = (
         description="server dispatch p99 under 1 s across all operations",
     ),
     SloSpec(
+        name="warm_passive_failover_time",
+        metric="ft_failover_seconds",
+        summary_field="max",
+        max_value=1.0,
+        description="warm-passive promotion (retire + sync + naming swap)"
+        " completes within 1 s — the headline win over checkpoint/restart",
+    ),
+    SloSpec(
+        name="active_vote_quorum_latency",
+        metric="ft_vote_quorum_seconds",
+        summary_field="p99",
+        max_value=0.5,
+        description="active-mode quorum reached within 0.5 s p99 — voting"
+        " must mask failures without stalling the caller",
+    ),
+    SloSpec(
         name="events-per-sec-floor",
         metric="sim_events_per_sec",
         summary_field="max",

@@ -247,6 +247,11 @@ class Orb:
         )
         #: ConnectMessage/Ack exchanges this ORB initiated.
         self.handshakes_sent = 0
+        #: service contexts of the request currently being dispatched —
+        #: valid only during the synchronous prefix of a servant method
+        #: call (set immediately before the method is invoked, consumed
+        #: before its first yield).
+        self.current_service_contexts: tuple = ()
 
     def add_request_interceptor(self, interceptor) -> None:
         """Register a :class:`repro.orb.interceptors.RequestInterceptor`."""
@@ -319,12 +324,21 @@ class Orb:
     # -- client side -------------------------------------------------------------
 
     def invoke(
-        self, ior: IOR, info: OpInfo, args: tuple, reference=None
+        self,
+        ior: IOR,
+        info: OpInfo,
+        args: tuple,
+        reference=None,
+        service_contexts: tuple = (),
     ) -> SimFuture:
         """Invoke ``info`` on the object ``ior``; returns the result future.
 
         ``reference`` is the client-side object reference (stub/proxy), if
         any — it carries the per-reference LOCATION_FORWARD cache.
+        ``service_contexts`` are extra GIOP service contexts shipped with
+        the request (beyond those interceptors attach) — the replication
+        layer uses them to carry logical request ids for duplicate
+        suppression.
         """
         if len(args) != len(info.params):
             raise MARSHAL(
@@ -332,7 +346,7 @@ class Orb:
             )
         outer = self.sim.future(label=f"call:{info.name}@{ior.host}")
         process = self.host.spawn(
-            self._invoke_proc(ior, info, args, outer, reference),
+            self._invoke_proc(ior, info, args, outer, reference, service_contexts),
             name=f"call:{info.name}",
         )
 
@@ -399,7 +413,13 @@ class Orb:
         return [stream.read_value(tc) for _, tc in info.params]
 
     def _invoke_proc(
-        self, ior: IOR, info: OpInfo, args: tuple, outer: SimFuture, reference=None
+        self,
+        ior: IOR,
+        info: OpInfo,
+        args: tuple,
+        outer: SimFuture,
+        reference=None,
+        extra_contexts: tuple = (),
     ):
         from repro.orb.forwarding import MAX_FORWARDS
 
@@ -411,7 +431,7 @@ class Orb:
         using_cached = cached_forward is not None
         for _hop in range(MAX_FORWARDS + 1):
             request_id = next(self._request_ids)
-            service_contexts: tuple = ()
+            service_contexts: tuple = tuple(extra_contexts)
             if self.interceptors:
                 from repro.orb.interceptors import RequestInfo
 
@@ -427,7 +447,9 @@ class Orb:
                     attrs={"request_marshal_work": self._marshal_work(len(body))},
                 )
                 self._intercept("send_request", send_info)
-                service_contexts = tuple(send_info.service_contexts)
+                service_contexts = service_contexts + tuple(
+                    send_info.service_contexts
+                )
             message = giop.RequestMessage(
                 request_id=request_id,
                 response_expected=not info.oneway,
@@ -915,6 +937,11 @@ class Orb:
                     f"{type(servant).__name__}.{message.operation} not implemented",
                     completed=CompletionStatus.COMPLETED_NO,
                 )
+            # Valid only for the synchronous prefix of the call: there is
+            # no yield between here and the method's first statement, so a
+            # replicated servant can capture its request-id context before
+            # any other dispatch runs.
+            self.current_service_contexts = message.service_contexts
             result = method(*args)
             if inspect.isgenerator(result):
                 result = yield from result

@@ -148,6 +148,13 @@ class ConnectionCache:
             return
         del self._entries[key]
 
+    def invalidate_endpoint(self, key: tuple) -> None:
+        """Targeted invalidation of one ``(host, port, incarnation)``
+        endpoint — used at primary promotion so no cached connection to
+        the dead incarnation survives the failover."""
+        if self._entries.pop(key, None) is not None:
+            self.bump("invalidations")
+
     def invalidate_host(self, host_name: str) -> None:
         """Failure-driven invalidation: every connection to ``host_name``
         is dropped (reset received or the host crashed)."""
