@@ -15,15 +15,29 @@ from repro.bench.harness import (
 )
 from repro.bench.reporting import format_table, write_json
 from repro.bench.resolvebench import RESOLVE_MODES, resolve_fastpath_sweep
+from repro.bench.scalebench import (
+    ScaleRunResult,
+    clients_latency_curve,
+    cluster_capacity,
+    dispatch_microbench,
+    hosts_throughput_curve,
+    scale_run,
+)
 
 __all__ = [
     "Fig3Point",
     "RESOLVE_MODES",
+    "ScaleRunResult",
     "Table1Row",
+    "clients_latency_curve",
+    "cluster_capacity",
+    "dispatch_microbench",
     "fig3_curves",
     "fig3_sweep",
     "format_table",
+    "hosts_throughput_curve",
     "resolve_fastpath_sweep",
+    "scale_run",
     "table1_sweep",
     "write_json",
 ]

@@ -7,10 +7,14 @@ generators (the independent variable of Fig. 3) and failure-injection
 schedules (exercising the fault-tolerance path of §3).
 """
 
-from repro.cluster.host import Host
+from repro.cluster.host import Host, HostLoadSampler
 from repro.cluster.network import Datagram, Network
 from repro.cluster.cluster import Cluster, ClusterConfig
-from repro.cluster.loadgen import BackgroundLoad
+from repro.cluster.loadgen import (
+    BackgroundLoad,
+    LatencyHistogram,
+    OpenLoopPopulation,
+)
 from repro.cluster.failures import FailureInjector, FailurePlan
 
 __all__ = [
@@ -21,5 +25,8 @@ __all__ = [
     "FailureInjector",
     "FailurePlan",
     "Host",
+    "HostLoadSampler",
+    "LatencyHistogram",
     "Network",
+    "OpenLoopPopulation",
 ]

@@ -11,7 +11,9 @@ is what brings services back.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Generator, Optional, TYPE_CHECKING
+from typing import Any, Callable, Generator, Optional, Sequence, TYPE_CHECKING
+
+import numpy as np
 
 from repro.errors import HostDownError
 from repro.sim import ProcessorSharingCPU, SimFuture
@@ -168,3 +170,59 @@ class Host:
         ).inc()
         for listener in list(self._restart_listeners):
             listener(self)
+
+
+class HostLoadSampler:
+    """Windowed load sampling over a whole host array, vectorized.
+
+    The per-host :class:`~repro.winner.node_manager.NodeManager` computes
+    utilization as the busy-integral delta over the sampling window; this
+    sampler takes the same measurement for *all* hosts of a site in one
+    sweep and returns numpy arrays, so a site-scale manager feeds its
+    :class:`~repro.winner.metrics.VectorLoadBoard` with O(hosts) array
+    math instead of one datagram per host per tick.  The clamp matches the
+    scalar path's ``min(1.0, max(0.0, utilization))`` exactly.
+    """
+
+    def __init__(self, hosts: Sequence[Host]) -> None:
+        if not hosts:
+            raise HostDownError("HostLoadSampler needs at least one host")
+        self.hosts: list[Host] = list(hosts)
+        self.sim = self.hosts[0].sim
+        n = len(self.hosts)
+        self.names: list[str] = [h.name for h in self.hosts]
+        self.speeds = np.asarray([h.speed for h in self.hosts], dtype=np.float64)
+        self.cores = np.asarray([h.cores for h in self.hosts], dtype=np.float64)
+        self._last_busy = np.zeros(n, dtype=np.float64)
+        self._last_time = self.sim.now
+        self._primed = False
+
+    def sample(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """One sweep: ``(utilization, run_queue, up)`` arrays.
+
+        The first call primes the busy-integral baseline and reports zero
+        utilization (there is no window yet), mirroring a node manager's
+        ``start()``.
+        """
+        hosts = self.hosts
+        now = self.sim.now
+        busy = np.fromiter(
+            (h.cpu.utilization_integral() for h in hosts),
+            dtype=np.float64,
+            count=len(hosts),
+        )
+        run_queue = np.fromiter(
+            (h.cpu.run_queue_length for h in hosts),
+            dtype=np.float64,
+            count=len(hosts),
+        )
+        up = np.fromiter((h.up for h in hosts), dtype=bool, count=len(hosts))
+        window = now - self._last_time
+        if self._primed and window > 0.0:
+            utilization = np.clip((busy - self._last_busy) / window, 0.0, 1.0)
+        else:
+            utilization = np.zeros(len(hosts), dtype=np.float64)
+        self._last_busy = busy
+        self._last_time = now
+        self._primed = True
+        return utilization, run_queue, up

@@ -41,6 +41,12 @@ from repro.services.naming.persistent import (
     FtNamingContextServant,
     FtNamingContextStub,
 )
+from repro.services.naming.sharded import (
+    ShardedNameRouter,
+    ShardedServiceDirectory,
+    shard_index,
+    shard_key,
+)
 
 __all__ = [
     "BreakerAwareStrategy",
@@ -56,8 +62,12 @@ __all__ = [
     "ResolveCacheStats",
     "RoundRobinStrategy",
     "SelectionStrategy",
+    "ShardedNameRouter",
+    "ShardedServiceDirectory",
     "WinnerStrategy",
     "idl",
     "name_from_string",
     "name_to_string",
+    "shard_index",
+    "shard_key",
 ]

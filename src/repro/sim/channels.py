@@ -20,12 +20,17 @@ if TYPE_CHECKING:  # pragma: no cover
 class Channel:
     """An unbounded FIFO queue with future-based receive."""
 
+    __slots__ = ("sim", "name", "_items", "_getters", "_closed", "_get_label")
+
     def __init__(self, sim: "Simulator", name: str = "") -> None:
         self.sim = sim
         self.name = name
         self._items: deque[Any] = deque()
         self._getters: deque[SimFuture] = deque()
         self._closed = False
+        # Precomputed: get() runs once per delivered message, and building
+        # this label per call dominates the empty-buffer fast path.
+        self._get_label = f"chan-get({name})"
 
     @property
     def closed(self) -> bool:
@@ -49,7 +54,7 @@ class Channel:
 
     def get(self) -> SimFuture:
         """A future for the next item (resolved immediately if buffered)."""
-        future = SimFuture(self.sim, label=f"chan-get({self.name})")
+        future = SimFuture(self.sim, label=self._get_label)
         if self._items:
             future.succeed(self._items.popleft())
         elif self._closed:

@@ -49,19 +49,24 @@ class SimFuture:
         self._state = FutureState.PENDING
         self._value: Any = None
         self._exception: BaseException | None = None
-        self._callbacks: list[Callable[[SimFuture], None]] = []
+        # Callback lists start as None: most futures (CPU tasks, channel
+        # gets at scale) resolve with at most one observer, so the empty
+        # list per future is pure allocation overhead on the hot path.
+        self._callbacks: list[Callable[[SimFuture], None]] | None = None
         self.label = label
         #: set when the (sole) process waiting on this future was killed;
         #: single-consumer resources (locks, channel receives) check it to
         #: avoid handing a resource to a dead process, and producers (CPU
         #: tasks) use the callback to stop work nobody is waiting for.
         self.abandoned = False
-        self._abandon_callbacks: list[Callable[[], None]] = []
+        self._abandon_callbacks: list[Callable[[], None]] | None = None
 
     def on_abandoned(self, callback: Callable[[], None]) -> None:
         """Run ``callback()`` if the waiting process is ever killed."""
         if self.abandoned:
             callback()
+        elif self._abandon_callbacks is None:
+            self._abandon_callbacks = [callback]
         else:
             self._abandon_callbacks.append(callback)
 
@@ -71,9 +76,10 @@ class SimFuture:
         if self.abandoned or self.is_done:
             return
         self.abandoned = True
-        callbacks, self._abandon_callbacks = self._abandon_callbacks, []
-        for callback in callbacks:
-            callback()
+        callbacks, self._abandon_callbacks = self._abandon_callbacks, None
+        if callbacks:
+            for callback in callbacks:
+                callback()
 
     # -- state ------------------------------------------------------------
 
@@ -149,18 +155,21 @@ class SimFuture:
         return True
 
     def _dispatch(self) -> None:
-        callbacks, self._callbacks = self._callbacks, []
-        for callback in callbacks:
-            callback(self)
+        callbacks, self._callbacks = self._callbacks, None
+        if callbacks:
+            for callback in callbacks:
+                callback(self)
 
     # -- observation ------------------------------------------------------
 
     def add_done_callback(self, callback: Callable[["SimFuture"], None]) -> None:
         """Register ``callback(self)``; runs immediately if already done."""
-        if self._state is FutureState.PENDING:
-            self._callbacks.append(callback)
-        else:
+        if self._state is not FutureState.PENDING:
             callback(self)
+        elif self._callbacks is None:
+            self._callbacks = [callback]
+        else:
+            self._callbacks.append(callback)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         detail = self.label or hex(id(self))

@@ -3,6 +3,23 @@
 A :class:`Simulator` owns simulated time, an event heap with deterministic
 FIFO tie-breaking, seeded random streams, and the trace log.  All other
 kernel objects (processes, CPUs, channels) schedule work through it.
+
+The dispatch loop is the hottest code in the repository — every simulated
+network packet, CPU completion and process wake-up passes through it — so
+its data layout is chosen for speed:
+
+* heap entries are plain ``(time, seq, event)`` tuples, so ``heapq`` sift
+  comparisons stay in C (tuple comparison never reaches the event object
+  because ``seq`` is unique) instead of calling a Python ``__lt__`` per
+  comparison;
+* cancellation is lazy (the entry stays in the heap, flagged) with a
+  cancelled-entry counter, so ``pending_event_count`` is derived O(1) as
+  ``len(heap) - cancelled`` — the hot pop path touches no counter at all —
+  and the heap compacts in place once cancelled entries dominate it;
+* :meth:`Simulator.run` inlines the drain loop (pop-first when unbounded,
+  peek-first when ``until``-bounded) so dispatching an event costs no
+  method calls beyond the callback itself, and the profiler hook costs a
+  single ``None`` check per event when disabled.
 """
 
 from __future__ import annotations
@@ -17,21 +34,43 @@ from repro.sim.events import SimFuture, all_of, any_of
 from repro.sim.randomness import rng_stream
 from repro.sim.tracing import Trace
 
+#: compaction threshold: rebuild the heap once at least this many entries
+#: are cancelled *and* they make up at least half of the heap.
+_COMPACT_MIN_CANCELLED = 64
+
+#: slack for the monotonic-time assertion (float addition noise).
+_TIME_EPSILON = 1e-12
+
 
 class ScheduledEvent:
     """A cancellable callback scheduled at an absolute simulated time."""
 
-    __slots__ = ("time", "seq", "callback", "cancelled")
+    __slots__ = ("time", "seq", "callback", "cancelled", "sim")
 
-    def __init__(self, time: float, seq: int, callback: Callable[[], None]) -> None:
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[[], None],
+        sim: Optional["Simulator"] = None,
+    ) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback
         self.cancelled = False
+        #: owning simulator while the entry sits in the heap; detached
+        #: (set to None) when popped, so a late cancel() only flips the
+        #: flag without touching the live counters.
+        self.sim = sim
 
     def cancel(self) -> None:
         """Prevent the callback from running; idempotent."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        sim = self.sim
+        if sim is not None:
+            sim._note_cancel()
 
     def __lt__(self, other: "ScheduledEvent") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -47,12 +86,18 @@ class Simulator:
     def __init__(self, seed: int = 0) -> None:
         self.seed = seed
         self.now: float = 0.0
-        self._heap: list[ScheduledEvent] = []
+        self._heap: list[tuple[float, int, ScheduledEvent]] = []
         self._seq = 0
         self._running = False
+        #: cancelled entries still sitting in the heap (lazy deletion).
+        #: ``pending_event_count`` is ``len(_heap)`` minus this, so the
+        #: hot dispatch loop never maintains a live-event counter.
+        self._cancelled_in_heap = 0
         self._rngs: dict[tuple[str, ...], np.random.Generator] = {}
         self.trace = Trace(self)
-        self.processes: list[Any] = []  # populated by Process
+        #: live processes; finished ones are compacted out periodically so
+        #: long request streams do not accumulate dead Process objects.
+        self.processes: list[Any] = []
         #: the process whose generator is being stepped right now (None
         #: between steps); trace-context inheritance at spawn and the
         #: observability tracer's "current span" both key off it.
@@ -79,9 +124,11 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        event = ScheduledEvent(self.now + delay, self._seq, callback)
-        self._seq += 1
-        heapq.heappush(self._heap, event)
+        time = self.now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        event = ScheduledEvent(time, seq, callback, self)
+        heapq.heappush(self._heap, (time, seq, event))
         return event
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> ScheduledEvent:
@@ -93,28 +140,81 @@ class Simulator:
         already scheduled for this instant."""
         return self.schedule(0.0, callback)
 
+    # -- heap bookkeeping ----------------------------------------------------
+
+    def _note_cancel(self) -> None:
+        """One in-heap entry was cancelled; compact when they dominate."""
+        cancelled = self._cancelled_in_heap + 1
+        self._cancelled_in_heap = cancelled
+        if (
+            cancelled >= _COMPACT_MIN_CANCELLED
+            and 2 * cancelled >= len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify, in place.
+
+        In place (slice assignment) so any local reference to the heap —
+        the dispatch loop's, or a callback's via ``_heap`` — stays valid.
+        """
+        heap = self._heap
+        heap[:] = [entry for entry in heap if not entry[2].cancelled]
+        heapq.heapify(heap)
+        self._cancelled_in_heap = 0
+
+    def _pop_event(self, max_time: Optional[float]) -> Optional[ScheduledEvent]:
+        """Pop the next live event, discarding cancelled entries.
+
+        The cancelled-skip path used by :meth:`step` and
+        :meth:`run_until_done`.  :meth:`run` inlines the same logic (the
+        bulk drain cannot afford a method call per event) — the two inline
+        loops there must mirror any change made here.  Returns ``None``
+        when the heap drains or the next live event lies beyond
+        ``max_time`` (which is then left in the heap).
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            head = heap[0]
+            event = head[2]
+            if event.cancelled:
+                pop(heap)
+                self._cancelled_in_heap -= 1
+                continue
+            if max_time is not None and head[0] > max_time:
+                return None
+            pop(heap)
+            event.sim = None
+            return event
+        return None
+
     # -- execution ----------------------------------------------------------
+
+    def _dispatch(self, event: ScheduledEvent) -> None:
+        """Invoke one event's callback (profiler hooks when installed)."""
+        profiler = self.profiler
+        if profiler is None:
+            event.callback()
+        else:
+            profiler.event_begin(event.callback, len(self._heap))
+            try:
+                event.callback()
+            finally:
+                profiler.event_end()
 
     def step(self) -> bool:
         """Process the next event. Returns False when the heap is empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            if event.time < self.now - 1e-12:
-                raise SimulationError("event heap time went backwards")
-            self.now = max(self.now, event.time)
-            profiler = self.profiler
-            if profiler is None:
-                event.callback()
-            else:
-                profiler.event_begin(event.callback, len(self._heap))
-                try:
-                    event.callback()
-                finally:
-                    profiler.event_end()
-            return True
-        return False
+        event = self._pop_event(None)
+        if event is None:
+            return False
+        time = event.time
+        if time < self.now - _TIME_EPSILON:
+            raise SimulationError("event heap time went backwards")
+        if time > self.now:
+            self.now = time
+        self._dispatch(event)
+        return True
 
     def run(self, until: Optional[float] = None) -> float:
         """Run until the heap drains or simulated time reaches ``until``.
@@ -124,17 +224,59 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is already running (reentrant run())")
         self._running = True
+        # Both loops below inline ``_pop_event``'s cancelled-skip and
+        # detach accounting — the hot path pays no method call per event
+        # beyond the callback itself.  ``heap`` can be cached because
+        # ``_compact`` rebuilds it in place (slice assignment).
+        heap = self._heap
+        pop = heapq.heappop
+        epsilon = _TIME_EPSILON
         try:
-            while self._heap:
-                head = self._heap[0]
-                if head.cancelled:
-                    heapq.heappop(self._heap)
-                    continue
-                if until is not None and head.time > until:
-                    break
-                self.step()
-            if until is not None and self.now < until:
-                self.now = until
+            if until is None:
+                # Unbounded drain: pop first, no head peek needed — a
+                # cancelled entry is discarded after the pop instead of
+                # being peeked at twice.
+                while heap:
+                    time, _, event = pop(heap)
+                    if event.cancelled:
+                        self._cancelled_in_heap -= 1
+                        continue
+                    event.sim = None
+                    now = self.now
+                    if time > now:
+                        self.now = time
+                    elif time < now - epsilon:
+                        raise SimulationError("event heap time went backwards")
+                    if self.profiler is None:
+                        event.callback()
+                    else:
+                        self._dispatch(event)
+            else:
+                # Bounded run: peek before popping so the first event past
+                # ``until`` stays in the heap.
+                while heap:
+                    head = heap[0]
+                    event = head[2]
+                    if event.cancelled:
+                        pop(heap)
+                        self._cancelled_in_heap -= 1
+                        continue
+                    time = head[0]
+                    if time > until:
+                        break
+                    pop(heap)
+                    event.sim = None
+                    now = self.now
+                    if time > now:
+                        self.now = time
+                    elif time < now - epsilon:
+                        raise SimulationError("event heap time went backwards")
+                    if self.profiler is None:
+                        event.callback()
+                    else:
+                        self._dispatch(event)
+                if self.now < until:
+                    self.now = until
         finally:
             self._running = False
         return self.now
@@ -150,7 +292,7 @@ class Simulator:
                 raise SimulationError(
                     f"deadlock: event heap empty but {future!r} is pending"
                 )
-            if self._heap[0].time > limit:
+            if self._heap[0][0] > limit:
                 raise SimulationError(
                     f"time limit {limit} exceeded while waiting for {future!r}"
                 )
@@ -164,7 +306,7 @@ class Simulator:
 
     def timeout(self, delay: float, value: Any = None) -> SimFuture:
         """A future that succeeds with ``value`` after ``delay`` seconds."""
-        future = SimFuture(self, label=f"timeout({delay})")
+        future = SimFuture(self, label="timeout")
         self.schedule(delay, lambda: future.try_succeed(value))
         return future
 
@@ -181,10 +323,20 @@ class Simulator:
 
         return Process(self, generator, name=name)
 
+    def _register_process(self, process: Any) -> None:
+        """Track a live process; compact finished ones so unbounded
+        request streams (millions of short-lived processes) stay O(live)."""
+        processes = self.processes
+        processes.append(process)
+        if len(processes) > 512:
+            live = [p for p in processes if p.is_pending]
+            if len(live) < len(processes):
+                self.processes = live
+
     # -- observability ---------------------------------------------------------
 
     @property
-    def obs(self):
+    def obs(self) -> Any:
         """The simulation's observability hub (metrics registry + span
         tracer), created lazily on first access."""
         if self._obs is None:
@@ -225,7 +377,10 @@ class Simulator:
 
     @property
     def pending_event_count(self) -> int:
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Live (non-cancelled) scheduled events — O(1), derived from the
+        heap length and the lazily-deleted-entry counter rather than
+        recounted per call (or maintained per pop)."""
+        return len(self._heap) - self._cancelled_in_heap
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Simulator t={self.now:.6f} events={self.pending_event_count}>"

@@ -60,7 +60,7 @@ class Process(SimFuture):
             if spawner is not None
             else sim.ambient_trace_context
         )
-        sim.processes.append(self)
+        sim._register_process(self)
         sim.call_soon(lambda: self._resume(None, None))
 
     # -- lifecycle ----------------------------------------------------------
@@ -181,13 +181,15 @@ class Process(SimFuture):
     # -- completion -------------------------------------------------------------
 
     def _finish_success(self, value: Any) -> None:
-        self.sim.trace.emit("process", f"{self.name} finished")
+        trace = self.sim.trace
+        if trace.enabled:
+            trace.emit("process", f"{self.name} finished")
         self.succeed(value)
 
     def _finish_failure(self, exc: BaseException, unhandled: bool) -> None:
-        self.sim.trace.emit(
-            "process", f"{self.name} failed", error=type(exc).__name__
-        )
+        trace = self.sim.trace
+        if trace.enabled:
+            trace.emit("process", f"{self.name} failed", error=type(exc).__name__)
         had_watchers = bool(self._callbacks)
         self.fail(exc)
         if unhandled and not had_watchers:

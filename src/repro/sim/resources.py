@@ -26,7 +26,7 @@ if TYPE_CHECKING:  # pragma: no cover
 _WORK_EPSILON = 1e-9
 
 
-@dataclass
+@dataclass(slots=True)
 class _Task:
     task_id: int
     remaining: float
@@ -43,6 +43,18 @@ class ProcessorSharingCPU:
     :param cores: number of cores; ``n`` tasks on ``c`` cores each progress
         at ``speed * min(1, c / n)``.
     """
+
+    __slots__ = (
+        "sim",
+        "speed",
+        "cores",
+        "_tasks",
+        "_ids",
+        "_last_update",
+        "_completion",
+        "busy_integral",
+        "work_completed",
+    )
 
     def __init__(self, sim: "Simulator", speed: float = 1.0, cores: int = 1) -> None:
         if speed <= 0:
@@ -68,7 +80,7 @@ class ProcessorSharingCPU:
         elapsed simulated duration when the task finishes."""
         if work < 0:
             raise SimulationError(f"work must be non-negative, got {work}")
-        future = SimFuture(self.sim, label=f"cpu-task({work})")
+        future = SimFuture(self.sim, label="cpu-task")
         if work <= _WORK_EPSILON:
             self.work_completed += work
             self.sim.call_soon(lambda: future.try_succeed(0.0))

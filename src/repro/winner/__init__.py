@@ -21,7 +21,12 @@ This package reproduces exactly that pipeline on the simulated NOW:
   manager for the naming service's use (the integration of Fig. 1).
 """
 
-from repro.winner.metrics import Ewma, LoadSample
+from repro.winner.metrics import Ewma, LoadSample, VectorLoadBoard
+from repro.winner.hierarchy import (
+    HierarchicalWinner,
+    RegionNode,
+    SiteLoadManager,
+)
 from repro.winner.protocol import LoadReport, LoadReportDelta, decode_report
 from repro.winner.node_manager import NodeManager
 from repro.winner.system_manager import HostRecord, SystemManager
@@ -38,6 +43,7 @@ __all__ = [
     "BatchQueue",
     "Ewma",
     "ExpectedRateRanking",
+    "HierarchicalWinner",
     "HostRecord",
     "JobState",
     "LoadReport",
@@ -48,7 +54,10 @@ __all__ = [
     "MetaStrategy",
     "NodeManager",
     "Ranking",
+    "RegionNode",
+    "SiteLoadManager",
     "SiteSummary",
     "SystemManager",
     "UtilizationRanking",
+    "VectorLoadBoard",
 ]

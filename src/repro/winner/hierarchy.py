@@ -1,0 +1,344 @@
+"""Hierarchical Winner: site → region tree for thousand-host clusters.
+
+The paper's system manager is a single collector ranking every host — fine
+for a LAN of tens of workstations, quadratic pain at thousands.  The WAN
+federation (:mod:`repro.winner.federation`) already showed the shape of the
+fix: aggregate each site into a small summary and rank summaries.  This
+module applies that shape *within* a cluster:
+
+* a :class:`SiteLoadManager` owns a few hundred hosts at most, sampling
+  them in one vectorized sweep (:class:`~repro.cluster.host.HostLoadSampler`
+  feeding a :class:`~repro.winner.metrics.VectorLoadBoard`) instead of one
+  report datagram per host per tick;
+* :class:`RegionNode`\\ s aggregate child summaries — the same fields as the
+  federation's :class:`~repro.winner.federation.SiteSummary` — so each tree
+  level ranks at most ``region_fanout`` children;
+* :class:`HierarchicalWinner` builds the tree, refreshes it on a fixed
+  period, and answers ``best_host()`` by descending the best-summary path.
+
+Placement feedback (the system manager's burst-spreading trick) lives at
+the leaves: a placement charges the chosen host's pending count until the
+next sampling sweep observes the work it caused.  Between refreshes a
+region routes on its cached summaries — bounded staleness in exchange for
+O(fanout) work per query, the standard hierarchy trade.
+
+Every structure here is deterministic: hosts are ranked with index
+tie-breaks (register them sorted by name to reproduce the scalar managers'
+name tie-break), children in registration order, and the refresh loop is a
+plain self-rescheduling simulator callback with no randomness.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, TYPE_CHECKING, Union
+
+from repro.errors import ConfigurationError
+from repro.cluster.host import Host, HostLoadSampler
+from repro.winner.federation import SiteSummary
+from repro.winner.metrics import Ewma, VectorLoadBoard
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import ScheduledEvent, Simulator
+
+
+class SiteLoadManager:
+    """Leaf manager: samples and ranks the hosts of one site.
+
+    :param vectorized: rank via the numpy :class:`VectorLoadBoard` (the
+        scale path) or via per-host :class:`Ewma` objects (the paper-style
+        scalar path).  Both produce bit-identical decisions — the property
+        tests hold the two against each other — so the flag exists to
+        *prove* the fast path neutral, not to change behaviour.
+    """
+
+    def __init__(
+        self,
+        site: str,
+        hosts: Sequence[Host],
+        alpha: float = 0.5,
+        vectorized: bool = True,
+    ) -> None:
+        if not hosts:
+            raise ConfigurationError(f"site {site!r} needs at least one host")
+        self.site = site
+        self.hosts: list[Host] = list(hosts)
+        self.vectorized = vectorized
+        self.sampler = HostLoadSampler(self.hosts)
+        self.board = VectorLoadBoard(
+            self.sampler.names,
+            [h.speed for h in self.hosts],
+            [h.cores for h in self.hosts],
+            alpha=alpha,
+        )
+        # Scalar shadow state, only maintained when vectorized=False.
+        self._util_ewma = [Ewma(alpha) for _ in self.hosts]
+        self._rq_ewma = [Ewma(alpha) for _ in self.hosts]
+        self._pending = [0.0] * len(self.hosts)
+        self._up = [True] * len(self.hosts)
+        self._updated_at = 0.0
+        self.refreshes = 0
+        self.placements = 0
+
+    def __len__(self) -> int:
+        return len(self.hosts)
+
+    def refresh(self) -> None:
+        """One sampling sweep folded into the smoothed per-host state."""
+        utilization, run_queue, up = self.sampler.sample()
+        now = self.sampler.sim.now
+        if self.vectorized:
+            self.board.observe(utilization, run_queue, up=up, now=now)
+        else:
+            for i in range(len(self.hosts)):
+                self._util_ewma[i].update(float(utilization[i]))
+                self._rq_ewma[i].update(float(run_queue[i]))
+                self._up[i] = bool(up[i])
+                self._pending[i] = 0.0
+            self._updated_at = now
+        self.refreshes += 1
+
+    # -- scalar shadow of the board's maths --------------------------------
+
+    def _scalar_score(self, i: int) -> float:
+        if not self._up[i]:
+            return float("-inf")
+        queue = self._rq_ewma[i].value + self._pending[i]
+        denominator = max(1.0, queue + 1.0)
+        host = self.hosts[i]
+        return host.speed * min(1.0, host.cores / denominator)
+
+    def _scalar_best(self) -> Optional[int]:
+        best: Optional[int] = None
+        best_score = float("-inf")
+        for i in range(len(self.hosts)):
+            score = self._scalar_score(i)
+            if score > best_score and self._up[i]:
+                best, best_score = i, score
+        return best
+
+    # -- queries ------------------------------------------------------------
+
+    def best_host(self) -> Optional[str]:
+        """Best live host; charges the placement until the next refresh."""
+        if self.vectorized:
+            top = self.board.top_hosts(1)
+            if not top:
+                return None
+            index = top[0]
+            self.board.note_placement(index)
+        else:
+            scalar_index = self._scalar_best()
+            if scalar_index is None:
+                return None
+            index = scalar_index
+            self._pending[index] += 1.0
+        self.placements += 1
+        return self.hosts[index].name
+
+    def best_score(self) -> float:
+        if self.vectorized:
+            top = self.board.top_hosts(1)
+            return float(self.board.scores()[top[0]]) if top else float("-inf")
+        index = self._scalar_best()
+        return self._scalar_score(index) if index is not None else float("-inf")
+
+    def summary(self) -> SiteSummary:
+        if self.vectorized:
+            rollup = self.board.summary()
+            return SiteSummary(site=self.site, **rollup)
+        alive = [i for i in range(len(self.hosts)) if self._up[i]]
+        best = self._scalar_best()
+        idle = sum(
+            self.hosts[i].speed
+            * self.hosts[i].cores
+            * max(0.0, 1.0 - self._util_ewma[i].value)
+            for i in alive
+        )
+        return SiteSummary(
+            site=self.site,
+            alive_hosts=len(alive),
+            best_host=self.hosts[best].name if best is not None else None,
+            best_score=self._scalar_score(best) if best is not None else 0.0,
+            total_idle_capacity=idle,
+            updated_at=self._updated_at,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SiteLoadManager {self.site} hosts={len(self.hosts)}>"
+
+
+class RegionNode:
+    """Internal tree node: ranks child summaries, never individual hosts."""
+
+    def __init__(
+        self,
+        name: str,
+        children: Sequence[Union["RegionNode", SiteLoadManager]],
+    ) -> None:
+        if not children:
+            raise ConfigurationError(f"region {name!r} needs at least one child")
+        self.name = name
+        self.children: list[Union["RegionNode", SiteLoadManager]] = list(children)
+        self._summaries: list[SiteSummary] = [c.summary() for c in self.children]
+
+    def refresh(self) -> None:
+        for child in self.children:
+            child.refresh()
+        self._summaries = [child.summary() for child in self.children]
+
+    def summary(self) -> SiteSummary:
+        alive = sum(s.alive_hosts for s in self._summaries)
+        best = self._best_child()
+        if best is None:
+            return SiteSummary(
+                site=self.name,
+                alive_hosts=0,
+                best_host=None,
+                best_score=0.0,
+                total_idle_capacity=0.0,
+                updated_at=max(s.updated_at for s in self._summaries),
+            )
+        chosen = self._summaries[best]
+        return SiteSummary(
+            site=self.name,
+            alive_hosts=alive,
+            best_host=chosen.best_host,
+            best_score=chosen.best_score,
+            total_idle_capacity=sum(
+                s.total_idle_capacity for s in self._summaries
+            ),
+            updated_at=max(s.updated_at for s in self._summaries),
+        )
+
+    def _best_child(self) -> Optional[int]:
+        best: Optional[int] = None
+        best_score = float("-inf")
+        for i, s in enumerate(self._summaries):
+            if s.alive_hosts == 0:
+                continue
+            if s.best_score > best_score:
+                best, best_score = i, s.best_score
+        return best
+
+    def best_host(self) -> Optional[str]:
+        best = self._best_child()
+        if best is None:
+            return None
+        return self.children[best].best_host()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<RegionNode {self.name} children={len(self.children)}>"
+
+
+class HierarchicalWinner:
+    """The whole tree plus its periodic refresh driver.
+
+    Hosts are chunked in the given order into sites of at most
+    ``site_fanout``; sites are grouped into regions of at most
+    ``region_fanout`` until a single root remains.  With the defaults a
+    10k-host cluster becomes 79 sites under a single root — no node ranks
+    more than ``max(site_fanout, region_fanout)`` entries.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        hosts: Sequence[Host],
+        site_fanout: int = 128,
+        region_fanout: int = 16,
+        refresh_interval: float = 1.0,
+        alpha: float = 0.5,
+        vectorized: bool = True,
+    ) -> None:
+        if site_fanout < 1 or region_fanout < 2:
+            raise ConfigurationError(
+                "need site_fanout >= 1 and region_fanout >= 2"
+            )
+        if not hosts:
+            raise ConfigurationError("HierarchicalWinner needs hosts")
+        self.sim = sim
+        self.refresh_interval = refresh_interval
+        self.leaves: list[SiteLoadManager] = []
+        host_list = list(hosts)
+        for start in range(0, len(host_list), site_fanout):
+            chunk = host_list[start : start + site_fanout]
+            self.leaves.append(
+                SiteLoadManager(
+                    site=f"site-{len(self.leaves):03d}",
+                    hosts=chunk,
+                    alpha=alpha,
+                    vectorized=vectorized,
+                )
+            )
+        self._leaf_of_host: dict[str, SiteLoadManager] = {
+            host.name: leaf for leaf in self.leaves for host in leaf.hosts
+        }
+        # Group bottom-up until one root remains.
+        level: list[Union[RegionNode, SiteLoadManager]] = list(self.leaves)
+        depth = 0
+        while len(level) > 1:
+            grouped: list[Union[RegionNode, SiteLoadManager]] = []
+            for start in range(0, len(level), region_fanout):
+                grouped.append(
+                    RegionNode(
+                        name=f"region-{depth}-{len(grouped):03d}",
+                        children=level[start : start + region_fanout],
+                    )
+                )
+            level = grouped
+            depth += 1
+        self.root: Union[RegionNode, SiteLoadManager] = level[0]
+        self.depth = depth
+        self._tick_event: Optional["ScheduledEvent"] = None
+        self.running = False
+
+    @property
+    def host_count(self) -> int:
+        return sum(len(leaf) for leaf in self.leaves)
+
+    def leaf_for(self, host_name: str) -> SiteLoadManager:
+        try:
+            return self._leaf_of_host[host_name]
+        except KeyError:
+            raise ConfigurationError(f"unknown host {host_name!r}") from None
+
+    # -- refresh driver ------------------------------------------------------
+
+    def refresh(self) -> None:
+        self.root.refresh()
+
+    def start(self) -> "HierarchicalWinner":
+        """Prime the tree now and refresh on the period until stopped."""
+        if self.running:
+            return self
+        self.running = True
+        self.refresh()
+
+        def tick() -> None:
+            if not self.running:
+                return
+            self.refresh()
+            self._tick_event = self.sim.schedule(self.refresh_interval, tick)
+
+        self._tick_event = self.sim.schedule(self.refresh_interval, tick)
+        return self
+
+    def stop(self) -> None:
+        self.running = False
+        if self._tick_event is not None:
+            self._tick_event.cancel()
+            self._tick_event = None
+
+    # -- placement ------------------------------------------------------------
+
+    def best_host(self) -> Optional[str]:
+        return self.root.best_host()
+
+    def summary(self) -> SiteSummary:
+        return self.root.summary()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<HierarchicalWinner hosts={self.host_count} "
+            f"sites={len(self.leaves)} depth={self.depth}>"
+        )

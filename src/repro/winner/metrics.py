@@ -4,11 +4,19 @@ The node manager measures what a 1990s Unix node manager measured from the
 kernel: CPU utilization over the sampling window (from the CPU's busy-time
 integral, the ``/proc/stat`` analogue) and the run-queue length (the load
 average's instantaneous input).
+
+At paper scale (10 hosts) each host gets its own :class:`Ewma` pair inside a
+``HostRecord``; at harness scale (thousands of hosts per site) that per-host
+object graph is replaced by :class:`VectorLoadBoard` — the same smoothing and
+the same expected-rate score, but as O(hosts) float64 array math.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
 
 from repro.errors import ConfigurationError
 
@@ -62,3 +70,138 @@ class Ewma:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Ewma alpha={self.alpha} value={self.value:.4f}>"
+
+
+class VectorLoadBoard:
+    """Per-host load state for one site, held in numpy arrays.
+
+    Hosts are fixed at construction and addressed by index; registration
+    order is the deterministic tie-break order (register hosts sorted by
+    name to reproduce the scalar managers' name tie-break).  The EWMA
+    update is ``v += alpha * (x - v)`` elementwise in float64 — the exact
+    IEEE operations :class:`Ewma` performs, so a board-driven manager and
+    an :class:`Ewma`-driven one smooth identically — and the score is the
+    expected-rate formula of
+    :class:`repro.winner.ranking.ExpectedRateRanking`:
+    ``speed * min(1, cores / max(1, queue + 1))`` with
+    ``queue = run_queue_ewma + pending_placements``.
+    """
+
+    def __init__(
+        self,
+        names: Sequence[str],
+        speeds: Sequence[float],
+        cores: Sequence[int],
+        alpha: float = 0.5,
+    ) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigurationError(f"EWMA alpha must be in (0, 1], got {alpha}")
+        if not (len(names) == len(speeds) == len(cores)):
+            raise ConfigurationError(
+                "VectorLoadBoard needs names/speeds/cores of equal length"
+            )
+        self.names: list[str] = list(names)
+        self.index: dict[str, int] = {n: i for i, n in enumerate(self.names)}
+        if len(self.index) != len(self.names):
+            raise ConfigurationError("duplicate host names on one board")
+        self.alpha = alpha
+        n = len(self.names)
+        self.speed = np.asarray(speeds, dtype=np.float64)
+        self.cores = np.asarray(cores, dtype=np.float64)
+        self._util = np.zeros(n, dtype=np.float64)
+        self._rq = np.zeros(n, dtype=np.float64)
+        self._seen = np.zeros(n, dtype=bool)
+        self.up = np.ones(n, dtype=bool)
+        #: placements charged since the last observation; cleared by
+        #: :meth:`observe` because a fresh run-queue sample already
+        #: reflects the work those placements put on the host.
+        self.pending = np.zeros(n, dtype=np.float64)
+        self.updated_at = 0.0
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    @property
+    def utilization(self) -> np.ndarray:
+        return self._util
+
+    @property
+    def run_queue(self) -> np.ndarray:
+        return self._rq
+
+    def observe(
+        self,
+        utilization: np.ndarray,
+        run_queue: np.ndarray,
+        up: Optional[np.ndarray] = None,
+        now: float = 0.0,
+    ) -> None:
+        """Fold one full sampling sweep into the smoothed state."""
+        u = np.asarray(utilization, dtype=np.float64)
+        q = np.asarray(run_queue, dtype=np.float64)
+        alpha = self.alpha
+        seen = self._seen
+        self._util = np.where(seen, self._util + alpha * (u - self._util), u)
+        self._rq = np.where(seen, self._rq + alpha * (q - self._rq), q)
+        seen[:] = True
+        if up is not None:
+            self.up = np.asarray(up, dtype=bool)
+        self.pending[:] = 0.0
+        self.updated_at = now
+
+    def note_placement(self, index: int, weight: float = 1.0) -> None:
+        """Charge a just-made placement so burst decisions spread out."""
+        self.pending[index] += weight
+
+    def scores(self) -> np.ndarray:
+        """Expected service rate per host; down hosts score ``-inf``."""
+        queue = self._rq + self.pending
+        denominator = np.maximum(1.0, queue + 1.0)
+        scores = self.speed * np.minimum(1.0, self.cores / denominator)
+        return np.where(self.up, scores, -np.inf)
+
+    def top_hosts(self, k: int = 1) -> list[int]:
+        """Indices of the best ``k`` live hosts, ties broken by index."""
+        scores = self.scores()
+        order = np.lexsort((np.arange(len(scores)), -scores))
+        out: list[int] = []
+        for idx in order:
+            if not self.up[idx]:
+                break  # -inf rows sort last; everything after is down too
+            out.append(int(idx))
+            if len(out) >= k:
+                break
+        return out
+
+    def best_host(self) -> Optional[str]:
+        top = self.top_hosts(1)
+        return self.names[top[0]] if top else None
+
+    def summary(self) -> dict:
+        """Site rollup for a parent aggregator (hierarchical Winner)."""
+        scores = self.scores()
+        alive = self.up
+        alive_count = int(np.count_nonzero(alive))
+        if alive_count == 0:
+            return {
+                "alive_hosts": 0,
+                "best_host": None,
+                "best_score": 0.0,
+                "total_idle_capacity": 0.0,
+                "updated_at": self.updated_at,
+            }
+        best = self.top_hosts(1)[0]
+        idle = self.speed * self.cores * np.maximum(0.0, 1.0 - self._util)
+        return {
+            "alive_hosts": alive_count,
+            "best_host": self.names[best],
+            "best_score": float(scores[best]),
+            "total_idle_capacity": float(np.where(alive, idle, 0.0).sum()),
+            "updated_at": self.updated_at,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<VectorLoadBoard hosts={len(self.names)} "
+            f"alive={int(np.count_nonzero(self.up))}>"
+        )

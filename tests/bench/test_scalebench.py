@@ -1,0 +1,84 @@
+"""Tests for the scale harness drivers: the dispatch ablation's
+correctness and the determinism of ``scale_run`` across every fast-path
+flag (the property the optimizations must not break)."""
+
+import pytest
+
+from repro.bench.scalebench import (
+    _BaselineSimulator,
+    _drain_workload,
+    cluster_capacity,
+    dispatch_microbench,
+    hosts_throughput_curve,
+    scale_run,
+)
+from repro.sim import Simulator
+
+
+def test_both_kernels_drain_the_same_workload():
+    """The ablation is only meaningful if both kernels do identical work."""
+    for factory in (_BaselineSimulator, lambda: Simulator(seed=0)):
+        sim = factory()
+        counter, expected = _drain_workload(sim, 2_000, cancel_stride=10)
+        sim.run()
+        assert next(counter) == expected == 2_000 - 200
+        assert sim.pending_event_count == 0
+
+
+def test_dispatch_microbench_reports_consistent_rates():
+    result = dispatch_microbench(total_events=4_000, repeats=1, rounds=4)
+    assert result["total_events"] == 4_000
+    assert result["baseline_events_per_sec"] > 0
+    assert result["fastpath_events_per_sec"] > 0
+    assert result["speedup"] == pytest.approx(
+        result["fastpath_events_per_sec"] / result["baseline_events_per_sec"]
+    )
+
+
+def test_scale_run_accounting_closes():
+    result = scale_run(
+        num_hosts=60, num_clients=2_000,
+        arrival_rate=0.5 * cluster_capacity(60), duration=2.0, seed=3,
+        site_fanout=16, num_shards=4, services_per_shard=2,
+    )
+    assert result.completions == result.arrivals
+    assert result.dropped == 0
+    assert result.failures == 0
+    assert result.sites == 4  # ceil(60 / 16)
+    assert 0 < result.latency_p50 <= result.latency_p99
+    assert result.naming_peak_share < 1.0
+    assert result.events_scheduled > result.arrivals
+
+
+@pytest.mark.parametrize(
+    "overrides",
+    [
+        {},  # the reference itself re-runs identically
+        {"vectorized": False},  # scalar ranking path
+        {"profiled": True},  # kernel profiler installed
+    ],
+    ids=["rerun", "scalar", "profiled"],
+)
+def test_thousand_host_run_is_bit_identical(overrides):
+    """Satellite property: same seed => same completion fingerprint for a
+    1k-host run, with and without the fast-path machinery engaged."""
+    kwargs = dict(
+        num_hosts=1_000, num_clients=10_000,
+        arrival_rate=0.5 * cluster_capacity(1_000), duration=1.0, seed=11,
+    )
+    reference = scale_run(**kwargs)
+    variant = scale_run(**{**kwargs, **overrides})
+    assert variant.fingerprint == reference.fingerprint
+    assert variant.arrivals == reference.arrivals
+    assert variant.completions == reference.completions
+    assert variant.latency_p99 == reference.latency_p99
+
+
+def test_hosts_curve_throughput_tracks_capacity():
+    rows = hosts_throughput_curve(
+        [50, 100], clients=2_000, per_core_load=0.5, duration=2.0,
+        site_fanout=25,
+    )
+    assert [row.hosts for row in rows] == [50, 100]
+    # Offered load doubled with the cluster; delivered throughput kept up.
+    assert rows[1].throughput > 1.5 * rows[0].throughput

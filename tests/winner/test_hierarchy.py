@@ -1,0 +1,128 @@
+"""Tests for the hierarchical Winner (site → region tree) and the
+vectorized load board's equivalence with the scalar ranking path."""
+
+import pytest
+
+from repro.cluster import Host
+from repro.errors import ConfigurationError
+from repro.sim import Simulator
+from repro.winner import (
+    HierarchicalWinner,
+    RegionNode,
+    SiteLoadManager,
+    VectorLoadBoard,
+)
+
+
+def _hosts(sim, n, offset=0):
+    return [
+        Host(sim, offset + i, f"h{offset + i:04d}",
+             speed=1.0 + 0.25 * (i % 3), cores=1 + (i % 2))
+        for i in range(n)
+    ]
+
+
+def test_vector_board_matches_scalar_manager_decisions():
+    """The vectorized and scalar site managers must place identically."""
+    sim = Simulator(seed=4)
+    hosts_a = _hosts(sim, 40)
+    hosts_b = _hosts(sim, 40)
+    fast = SiteLoadManager("site", hosts_a, vectorized=True)
+    slow = SiteLoadManager("site", hosts_b, vectorized=False)
+
+    load = sim.rng("test", "load")
+    for _ in range(5):
+        # Put identical uneven work on both clusters, then advance time.
+        for i in range(0, 40, 3):
+            work = float(load.uniform(0.5, 2.0))
+            hosts_a[i].execute(work)
+            hosts_b[i].execute(work)
+        sim.run(until=sim.now + 1.0)
+        fast.refresh()
+        slow.refresh()
+        # A burst of placements: each one charges pending load, so the
+        # two paths must agree on every successive choice, not just one.
+        picks_fast = [fast.best_host() for _ in range(10)]
+        picks_slow = [slow.best_host() for _ in range(10)]
+        assert picks_fast == picks_slow
+        assert fast.best_score() == pytest.approx(slow.best_score())
+
+    fast_summary = fast.summary()
+    slow_summary = slow.summary()
+    assert fast_summary.alive_hosts == slow_summary.alive_hosts
+    assert fast_summary.best_host == slow_summary.best_host
+    assert fast_summary.best_score == pytest.approx(slow_summary.best_score)
+    assert fast_summary.total_idle_capacity == pytest.approx(
+        slow_summary.total_idle_capacity
+    )
+
+
+def test_vector_board_validation():
+    with pytest.raises(ConfigurationError):
+        VectorLoadBoard(["a", "a"], [1.0, 1.0], [1, 1])
+    with pytest.raises(ConfigurationError):
+        VectorLoadBoard(["a"], [1.0, 2.0], [1])
+    with pytest.raises(ConfigurationError):
+        VectorLoadBoard(["a"], [1.0], [1], alpha=1.5)
+
+
+def test_vector_board_skips_down_hosts():
+    board = VectorLoadBoard(["a", "b", "c"], [1.0, 4.0, 2.0], [1, 1, 1])
+    board.observe([0.0, 0.0, 0.0], [0.0, 0.0, 0.0],
+                  up=[True, False, True])
+    assert board.best_host() == "c"  # fastest alive, not fastest overall
+    assert [board.names[i] for i in board.top_hosts(5)] == ["c", "a"]
+
+
+def test_hierarchy_shape_and_fanout():
+    sim = Simulator(seed=1)
+    hosts = _hosts(sim, 300)
+    winner = HierarchicalWinner(
+        sim, hosts, site_fanout=50, region_fanout=3, refresh_interval=1.0
+    )
+    assert winner.host_count == 300
+    assert len(winner.leaves) == 6  # 300 / 50
+    # 6 leaves under fanout-3 regions: 2 regions, then 1 root.
+    assert winner.depth == 2
+    # No manager ranks more than site_fanout hosts.
+    assert all(len(leaf.hosts) <= 50 for leaf in winner.leaves)
+    # Every host belongs to exactly one leaf.
+    assert sorted(h.name for leaf in winner.leaves for h in leaf.hosts) == \
+        sorted(h.name for h in hosts)
+
+
+def test_hierarchy_places_and_aggregates():
+    sim = Simulator(seed=2)
+    hosts = _hosts(sim, 120)
+    winner = HierarchicalWinner(
+        sim, hosts, site_fanout=32, region_fanout=4, refresh_interval=0.5
+    ).start()
+    sim.run(until=2.0)
+    name = winner.best_host()
+    assert name in {h.name for h in hosts}
+    summary = winner.summary()
+    assert summary.alive_hosts == 120
+    assert summary.best_score > 0
+    leaf = winner.leaf_for(name)
+    assert any(h.name == name for h in leaf.hosts)
+    winner.stop()
+    sim.run()
+    assert sim.pending_event_count == 0  # the refresh tick was cancelled
+
+
+def test_region_node_prefers_the_idler_site():
+    sim = Simulator(seed=3)
+    busy_hosts = _hosts(sim, 8)
+    idle_hosts = _hosts(sim, 8, offset=8)
+    busy = SiteLoadManager("busy", busy_hosts)
+    idle = SiteLoadManager("idle", idle_hosts)
+    for host in busy_hosts:
+        for _ in range(4):
+            host.execute(5.0)
+    sim.run(until=1.0)
+    region = RegionNode("region", [busy, idle])
+    region.refresh()
+    pick = region.best_host()
+    assert pick in {h.name for h in idle_hosts}
+    summary = region.summary()
+    assert summary.alive_hosts == 16
