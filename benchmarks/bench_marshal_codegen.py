@@ -1,0 +1,477 @@
+"""AOT marshal-codegen bench: microbench ablation + Table-1 conformance.
+
+Two experiments share one artifact:
+
+* the **marshal microbench** (``marshal_microbench``) — host wall-clock
+  throughput of the interpreted plan-cache path against the generated
+  flat encoders/decoders on an identical batch of rich struct values
+  (nested structs, enum, union, double/octet sequences, strings — the
+  shape of the optimizer's worker exchange); the acceptance criterion is
+  a >= 2x combined encode+decode speedup (full mode);
+* the **Table-1 conformance columns** (``table1_codegen_columns``) —
+  the paper's 100-dim/7-worker cells re-run with ``marshal_codegen=True``
+  next to the stock runs, both without and with fault-tolerance proxies.
+  The generated path writes bit-identical CDR, so every codegen column
+  must equal its baseline column *exactly* (simulated seconds compare
+  with ``==``, not a tolerance) while the fast-path hit counters prove
+  the generated coders actually carried the traffic.
+
+The file doubles as the CI codegen-smoke gate::
+
+    PYTHONPATH=src python benchmarks/bench_marshal_codegen.py --quick
+
+which exits non-zero when the generated path falls below the quick
+speedup floor, any generated encode diverges from the plan cache on the
+wire, any Table-1 codegen cell is not bit-identical to its baseline, or
+the hit counters show the fast path silently fell back.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+from pathlib import Path
+
+from repro.bench import format_table
+from repro.bench.harness import BENCH_SETTINGS, _scenario
+from repro.orb import cdr
+from repro.orb.cdr import CdrInputStream, CdrOutputStream
+from repro.orb.idl import compile_idl
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: representative payload: the shape of the optimizer's worker exchange
+#: (coordinate vectors, nested result records, a tagged note).
+BENCH_IDL = """
+module MarshalBench {
+    enum MbPhase { MB_EXPLORE, MB_REFINE, MB_DONE };
+    struct MbPoint {
+        sequence<double> coords;
+        double value;
+    };
+    struct MbStats {
+        unsigned long evals;
+        double best;
+        double elapsed;
+        MbPhase phase;
+    };
+    union MbNote switch (MbPhase) {
+        case MB_EXPLORE: string hint;
+        case MB_REFINE: double step;
+        default: boolean flag;
+    };
+    struct MbState {
+        MbPoint best_point;
+        MbStats stats;
+        sequence<double> scratch;
+        sequence<octet> blob;
+        string label;
+        MbNote note;
+    };
+};
+"""
+
+_NS = compile_idl(BENCH_IDL, name="bench-marshal")
+
+#: microbench shape: values per timed round × rounds, best of repeats.
+VALUES_PER_ROUND = 16
+MICRO_ROUNDS_FULL = 400
+MICRO_ROUNDS_QUICK = 150
+MICRO_REPEATS = 5
+DIMENSION = 100
+SEED = 20260809
+
+#: acceptance: generated coders must beat the plan cache by this much.
+MIN_SPEEDUP_FULL = 2.0
+#: CI boxes are noisy; the quick gate only proves the generated path is
+#: still a clear win, the pinned full run records the >= 2x.
+MIN_SPEEDUP_QUICK = 1.5
+
+#: Table-1 conformance grid (subset of the paper's iteration sweep; the
+#: equality check is per-cell, so more cells add cost, not coverage).
+#: The 10k row runs identically in quick and full mode, so the pinned
+#: deterministic metrics stay comparable across both (the CI obs gate
+#: compares the shared series).
+TABLE1_FULL = (10_000, 30_000, 50_000)
+TABLE1_QUICK = (10_000,)
+MANAGER_ITERATIONS = 6
+
+
+def _make_state(rng: random.Random):
+    phase = _NS.MbPhase(rng.randrange(3))
+    if phase == _NS.MbPhase.MB_EXPLORE:
+        note = _NS.MbNote(phase, f"grid-{rng.randrange(1000)}")
+    elif phase == _NS.MbPhase.MB_REFINE:
+        note = _NS.MbNote(phase, rng.random())
+    else:
+        note = _NS.MbNote(phase, rng.random() < 0.5)
+    return _NS.MbState(
+        best_point=_NS.MbPoint(
+            coords=[rng.random() for _ in range(DIMENSION)],
+            value=rng.random() * 100.0,
+        ),
+        stats=_NS.MbStats(
+            evals=rng.randrange(1 << 20),
+            best=rng.random(),
+            elapsed=rng.random() * 10.0,
+            phase=phase,
+        ),
+        scratch=[rng.random() for _ in range(DIMENSION // 2)],
+        blob=bytes(rng.randrange(256) for _ in range(64)),
+        label=f"state-{rng.randrange(10_000)}",
+        note=note,
+    )
+
+
+def marshal_microbench(rounds: int, repeats: int = MICRO_REPEATS) -> dict:
+    """Time the plan-cache vs generated coders on identical values."""
+    tc = _NS.MbState.__tc__
+    rng = random.Random(SEED)
+    values = [_make_state(rng) for _ in range(VALUES_PER_ROUND)]
+
+    def encode_all() -> list[bytes]:
+        blobs = []
+        for value in values:
+            out = CdrOutputStream()
+            out.write_value(tc, value)
+            blobs.append(out.getvalue())
+        return blobs
+
+    # Wire parity first: both paths must produce identical bytes, and
+    # the generated lane must not silently fall back to the interpreter.
+    cdr.set_marshal_codegen_enabled(False)
+    baseline_blobs = encode_all()
+    cdr.set_marshal_codegen_enabled(True)
+    cdr.reset_marshal_codegen_stats()
+    generated_blobs = encode_all()
+    stats = cdr.marshal_codegen_stats()
+    wire_identical = generated_blobs == baseline_blobs
+    parity_fallbacks = stats["encoder_fallbacks"]
+
+    def canonical(blob: bytes) -> bytes:
+        value = CdrInputStream(blob).read_value(tc)
+        out = CdrOutputStream()
+        out.write_value(tc, value)
+        return out.getvalue()
+
+    cdr.set_marshal_codegen_enabled(True)
+    decode_identical = [canonical(b) for b in baseline_blobs] == baseline_blobs
+    parity_fallbacks += cdr.marshal_codegen_stats()["decoder_fallbacks"]
+
+    def time_encode(flag: bool) -> float:
+        cdr.set_marshal_codegen_enabled(flag)
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            for _ in range(rounds):
+                for value in values:
+                    out = CdrOutputStream()
+                    out.write_value(tc, value)
+            best = min(best, time.perf_counter() - start)
+        return rounds * len(values) / best
+
+    def time_decode(flag: bool) -> float:
+        cdr.set_marshal_codegen_enabled(flag)
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            for _ in range(rounds):
+                for blob in baseline_blobs:
+                    CdrInputStream(blob).read_value(tc)
+            best = min(best, time.perf_counter() - start)
+        return rounds * len(baseline_blobs) / best
+
+    # Warm the plan cache / generated registries outside the timers.
+    encode_base = time_encode(False)
+    encode_gen = time_encode(True)
+    decode_base = time_decode(False)
+    decode_gen = time_decode(True)
+    cdr.set_marshal_codegen_enabled(False)
+
+    return {
+        "rounds": rounds,
+        "repeats": repeats,
+        "values_per_round": len(values),
+        "value_bytes": len(baseline_blobs[0]),
+        "wire_identical": wire_identical,
+        "decode_identical": decode_identical,
+        "parity_fallbacks": parity_fallbacks,
+        "encode_plan_cache_ops_per_sec": encode_base,
+        "encode_generated_ops_per_sec": encode_gen,
+        "decode_plan_cache_ops_per_sec": decode_base,
+        "decode_generated_ops_per_sec": decode_gen,
+        "encode_speedup": encode_gen / encode_base,
+        "decode_speedup": decode_gen / decode_base,
+        # combined = one encode + one decode per op, harmonic pairing.
+        "speedup": (
+            (1.0 / encode_base + 1.0 / decode_base)
+            / (1.0 / encode_gen + 1.0 / decode_gen)
+        ),
+    }
+
+
+def table1_codegen_columns(
+    iteration_counts, manager_iterations: int
+) -> list[dict]:
+    """Table-1 cells with and without ``marshal_codegen``, plus counters."""
+    rows = []
+    for count in iteration_counts:
+        cells: dict[str, float] = {}
+        counters: dict[str, dict] = {}
+        for fault_tolerant in (False, True):
+            for codegen in (False, True):
+                if codegen:
+                    cdr.reset_marshal_codegen_stats()
+                result = _scenario(
+                    "100/7",
+                    "CORBA/Winner",
+                    background_hosts=0,
+                    worker_iterations=count,
+                    fault_tolerant=fault_tolerant,
+                    seed=7,
+                    settings=BENCH_SETTINGS,
+                    manager_iterations=manager_iterations,
+                    overrides={"marshal_codegen": codegen},
+                ).run()
+                name = ("ft" if fault_tolerant else "plain") + (
+                    "+codegen" if codegen else ""
+                )
+                cells[name] = result.runtime_seconds
+                if codegen:
+                    stats = cdr.marshal_codegen_stats()
+                    counters[name] = {
+                        key: stats[key]
+                        for key in (
+                            "encoder_hits",
+                            "decoder_hits",
+                            "request_encoder_hits",
+                            "arg_decoder_hits",
+                            "dispatch_hits",
+                            "dispatch_fallbacks",
+                            "encoder_fallbacks",
+                            "decoder_fallbacks",
+                        )
+                    }
+        rows.append({"iterations": count, "cells": cells, "counters": counters})
+    cdr.set_marshal_codegen_enabled(False)
+    return rows
+
+
+def run_bench(quick: bool = False) -> dict:
+    try:
+        micro = marshal_microbench(
+            MICRO_ROUNDS_QUICK if quick else MICRO_ROUNDS_FULL
+        )
+        table1 = table1_codegen_columns(
+            TABLE1_QUICK if quick else TABLE1_FULL,
+            MANAGER_ITERATIONS,
+        )
+    finally:
+        # The flag is process-global; leave the default (interpreted) path
+        # behind for whatever runs next in this process.
+        cdr.set_marshal_codegen_enabled(False)
+    return {"quick": quick, "micro": micro, "table1": table1}
+
+
+def check_results(results: dict) -> list:
+    """Every violated acceptance condition (empty = pass)."""
+    failures: list = []
+    micro = results["micro"]
+    if not micro["wire_identical"]:
+        failures.append("micro: generated encode diverged from the plan cache")
+    if not micro["decode_identical"]:
+        failures.append("micro: generated decode did not round-trip the wire")
+    if micro["parity_fallbacks"]:
+        failures.append(
+            f"micro: {micro['parity_fallbacks']} silent fallback(s) to the "
+            "interpreted path during the parity pass"
+        )
+    min_speedup = MIN_SPEEDUP_QUICK if results["quick"] else MIN_SPEEDUP_FULL
+    if micro["speedup"] < min_speedup:
+        failures.append(
+            f"micro: generated marshal path is only {micro['speedup']:.2f}x "
+            f"the plan cache (need >= {min_speedup}x)"
+        )
+    for row in results["table1"]:
+        cells = row["cells"]
+        for base in ("plain", "ft"):
+            if cells[f"{base}+codegen"] != cells[base]:
+                failures.append(
+                    f"table1 iter={row['iterations']}: {base}+codegen runtime "
+                    f"{cells[base + '+codegen']!r} != baseline {cells[base]!r} "
+                    "(generated path must be bit-identical)"
+                )
+        for name, counters in row["counters"].items():
+            if counters["dispatch_hits"] == 0:
+                failures.append(
+                    f"table1 iter={row['iterations']}: {name} took zero "
+                    "fast-dispatch hits (flag plumbed but path unused?)"
+                )
+            if counters["encoder_hits"] + counters["request_encoder_hits"] == 0:
+                failures.append(
+                    f"table1 iter={row['iterations']}: {name} took zero "
+                    "generated-encoder hits"
+                )
+    return failures
+
+
+def render(results: dict) -> str:
+    micro = results["micro"]
+    micro_table = format_table(
+        ["path", "encode ops/s", "decode ops/s"],
+        [
+            [
+                "plan cache",
+                f"{micro['encode_plan_cache_ops_per_sec']:,.0f}",
+                f"{micro['decode_plan_cache_ops_per_sec']:,.0f}",
+            ],
+            [
+                "generated",
+                f"{micro['encode_generated_ops_per_sec']:,.0f}",
+                f"{micro['decode_generated_ops_per_sec']:,.0f}",
+            ],
+            [
+                "speedup",
+                f"{micro['encode_speedup']:.2f}x",
+                f"{micro['decode_speedup']:.2f}x",
+            ],
+        ],
+        title=(
+            f"Marshal microbench ({micro['value_bytes']}-byte MbState, "
+            f"{micro['rounds'] * micro['values_per_round']} ops, best of "
+            f"{micro['repeats']}) — combined {micro['speedup']:.2f}x"
+        ),
+    )
+    rows = [
+        [
+            row["iterations"],
+            f"{row['cells']['plain']:.2f}",
+            f"{row['cells']['plain+codegen']:.2f}",
+            f"{row['cells']['ft']:.2f}",
+            f"{row['cells']['ft+codegen']:.2f}",
+            "yes"
+            if (
+                row["cells"]["plain+codegen"] == row["cells"]["plain"]
+                and row["cells"]["ft+codegen"] == row["cells"]["ft"]
+            )
+            else "NO",
+            f"{row['counters']['plain+codegen']['dispatch_hits']}"
+            f"/{row['counters']['ft+codegen']['dispatch_hits']}",
+        ]
+        for row in results["table1"]
+    ]
+    table1_table = format_table(
+        [
+            "iterations",
+            "plain [s]",
+            "+codegen [s]",
+            "ft [s]",
+            "ft+codegen [s]",
+            "identical",
+            "dispatch hits",
+        ],
+        rows,
+        title=(
+            "Table 1 under marshal_codegen (100-dim, 7 workers; codegen "
+            "columns must equal baselines exactly)"
+        ),
+    )
+    return "\n\n".join([micro_table, table1_table])
+
+
+def payload(results: dict) -> dict:
+    return {
+        "quick": results["quick"],
+        "marshal_microbench": results["micro"],
+        "table1": results["table1"],
+    }
+
+
+def metric_series(results: dict) -> dict:
+    micro = results["micro"]
+    return {
+        # wall-clock lane (bench_wall prefix -> ±50% gate).
+        "bench_wall_marshal_ops_per_sec": [
+            ({"path": "plan-cache", "direction": "encode"},
+             micro["encode_plan_cache_ops_per_sec"]),
+            ({"path": "generated", "direction": "encode"},
+             micro["encode_generated_ops_per_sec"]),
+            ({"path": "plan-cache", "direction": "decode"},
+             micro["decode_plan_cache_ops_per_sec"]),
+            ({"path": "generated", "direction": "decode"},
+             micro["decode_generated_ops_per_sec"]),
+        ],
+        "bench_wall_marshal_speedup": [({}, micro["speedup"])],
+        # deterministic lane (±5% gate; bit-identical run to run).
+        "bench_codegen_runtime_seconds": [
+            ({"iterations": row["iterations"], "variant": name}, value)
+            for row in results["table1"]
+            for name, value in row["cells"].items()
+        ],
+        "bench_codegen_dispatch_hits": [
+            ({"iterations": row["iterations"], "variant": name},
+             counters["dispatch_hits"])
+            for row in results["table1"]
+            for name, counters in row["counters"].items()
+        ],
+    }
+
+
+def export_artifacts(results: dict) -> None:
+    """Write the same artifact set the pytest fixtures would."""
+    from repro.bench.reporting import write_json
+    from repro.obs import MetricsRegistry
+    from repro.obs.exporters import prometheus_text
+
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / "marshal_codegen.txt").write_text(render(results) + "\n")
+    write_json(RESULTS_DIR / "marshal_codegen.json", payload(results))
+    registry = MetricsRegistry()
+    for metric_name, samples in metric_series(results).items():
+        for labels, value in samples:
+            registry.gauge(metric_name, **labels).set(float(value))
+    write_json(RESULTS_DIR / "BENCH_marshal_codegen.json", registry.snapshot())
+    (RESULTS_DIR / "BENCH_marshal_codegen.prom").write_text(
+        prometheus_text(registry)
+    )
+
+
+def test_marshal_codegen_bench(benchmark, save_result, export_bench_metrics):
+    results = benchmark.pedantic(
+        run_bench, kwargs={"quick": True}, rounds=1, iterations=1
+    )
+    failures = check_results(results)
+    assert not failures, "\n".join(failures)
+    save_result("marshal_codegen", render(results), payload(results))
+    export_bench_metrics("marshal_codegen", metric_series(results))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=(
+            "AOT marshal-codegen ablation + Table-1 conformance "
+            "(CI codegen-smoke gate)."
+        )
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI shape: fewer rounds, one Table-1 row, looser speedup floor",
+    )
+    args = parser.parse_args(argv)
+    results = run_bench(quick=args.quick)
+    print(render(results))
+    export_artifacts(results)
+    print(f"\nwrote {RESULTS_DIR / 'BENCH_marshal_codegen.json'}")
+    failures = check_results(results)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("marshal codegen: all acceptance checks passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
