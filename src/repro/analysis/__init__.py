@@ -12,7 +12,15 @@ every commit:
 * **atomicity** — declared-atomic critical sections contain no cooperative
   yield points, and lock acquisition orders are cycle-free;
 * **exception safety** — no bare/overbroad handlers, no silently swallowed
-  recoverable communication failures.
+  recoverable communication failures;
+* **race inference** (v2) — lockset analysis over the project call graph:
+  shared ``self.<field>`` state must be guarded consistently, never span a
+  yield point mid-update, and locks must be released on every path;
+* **typestate lifecycles** (v2) — protocol objects (circuit breakers,
+  pipelined checkpoints, connection-cache entries) must always reach their
+  closing sink;
+* **config-flag hygiene** (v2) — fast-path flags default off, every flag is
+  consulted, every report counter is observable.
 
 CLI: ``python -m repro.analysis`` (see :mod:`repro.analysis.cli`).
 Programmatic use: :func:`analyze_paths`, :func:`analyze_source`, or compose
@@ -31,9 +39,12 @@ from repro.analysis.baseline import Baseline, BaselineError
 from repro.analysis.checkers import (
     ALL_CHECKERS,
     AtomicityChecker,
+    ConfigFlagChecker,
     DeterminismChecker,
     ExceptionSafetyChecker,
     IdlConformanceChecker,
+    LifecycleChecker,
+    RaceChecker,
 )
 from repro.analysis.cli import analyze_paths, run
 from repro.analysis.findings import AnalysisResult, Finding, Severity
@@ -47,11 +58,14 @@ __all__ = [
     "Baseline",
     "BaselineError",
     "Checker",
+    "ConfigFlagChecker",
     "DeterminismChecker",
     "ExceptionSafetyChecker",
     "Finding",
     "IdlConformanceChecker",
+    "LifecycleChecker",
     "Project",
+    "RaceChecker",
     "Severity",
     "SourceFile",
     "analyze_paths",

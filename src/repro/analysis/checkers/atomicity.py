@@ -3,9 +3,10 @@
 The simulator is cooperative: a process can only be preempted at a
 ``yield``.  Every invariant of the form "these two updates happen
 atomically" therefore reduces to "no yield point between them" — which is
-exactly what this checker proves.  It builds a project-wide call graph,
-classifies functions as *may-yield* (generators, plus anything that
-confidently reaches one), and enforces two kinds of declarations:
+exactly what this checker proves.  It builds on the project-wide call
+graph in :mod:`repro.analysis.callgraph` (functions classified *may-yield*
+when they are generators or confidently reach one) and enforces two kinds
+of declarations:
 
 ``# analysis: atomic`` on a function
     The function must not be a generator and must not transitively call a
@@ -32,466 +33,17 @@ noise, not analysis guesses.
 
 from __future__ import annotations
 
-import ast
-from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
-from repro.analysis.findings import Finding, Severity
+from repro.analysis.callgraph import (
+    CallGraph,
+    FunctionInfo,
+    SourceFile,
+    function_at_marker,
+)
+from repro.analysis.findings import Finding
 from repro.analysis.framework import Checker
-from repro.analysis.source import Project, SourceFile
-
-
-#: callees whose call-expression arguments are handed to the scheduler
-#: for *later* execution — constructing a generator inline for them is
-#: not an inline yield point.
-SCHEDULER_HANDOFF = frozenset({"spawn", "schedule", "schedule_at"})
-
-
-@dataclass
-class CallSite:
-    """One call expression inside a function's own scope."""
-
-    kind: str  # "self" | "name" | "attr"
-    name: str
-    line: int
-    under_yield: bool
-    #: dotted import resolution for kind == "name" (may equal name).
-    dotted: str = ""
-    #: the call is an argument of a spawn/schedule — it only *creates* the
-    #: generator; the scheduler runs it outside this scope.
-    deferred: bool = False
-
-
-@dataclass
-class LockEvent:
-    op: str  # "acquire" | "release" | "call"
-    name: str  # lock name, or callee name for "call"
-    line: int
-    call: Optional[CallSite] = None
-
-
-@dataclass
-class FunctionInfo:
-    source: SourceFile
-    node: ast.AST
-    qualname: str
-    class_name: Optional[str]
-    is_generator: bool = False
-    yield_lines: list[int] = field(default_factory=list)
-    calls: list[CallSite] = field(default_factory=list)
-    lock_events: list[LockEvent] = field(default_factory=list)
-    may_yield: bool = False
-    #: one callee responsible for may_yield (for witness chains).
-    witness: Optional["FunctionInfo"] = None
-
-    @property
-    def name(self) -> str:
-        return self.qualname.rsplit(".", 1)[-1]
-
-    def chain(self) -> str:
-        """Human witness path from this function to a generator."""
-        parts = [self.qualname]
-        seen = {id(self)}
-        current = self.witness
-        while current is not None and id(current) not in seen:
-            parts.append(current.qualname)
-            seen.add(id(current))
-            current = current.witness
-        return " -> ".join(parts)
-
-
-@dataclass
-class ClassInfo:
-    name: str
-    bases: list[str]
-    methods: dict[str, FunctionInfo] = field(default_factory=dict)
-
-
-class _FunctionCollector:
-    """Extracts per-function info (own scope only) from one module."""
-
-    def __init__(self, source: SourceFile, lock_names: frozenset[str]) -> None:
-        self.source = source
-        self.lock_names = lock_names
-        self.functions: list[FunctionInfo] = []
-        self.classes: list[ClassInfo] = []
-        #: ids of Call nodes passed as arguments to spawn/schedule — they
-        #: construct a generator for the scheduler, they don't run inline.
-        self._deferred_ids: set[int] = set()
-
-    def collect(self) -> None:
-        assert self.source.tree is not None
-        self._visit_body(self.source.tree.body, prefix="", class_info=None)
-
-    def _visit_body(
-        self,
-        body: list[ast.stmt],
-        prefix: str,
-        class_info: Optional[ClassInfo],
-    ) -> None:
-        for node in body:
-            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                qual = f"{prefix}.{node.name}" if prefix else node.name
-                info = FunctionInfo(
-                    source=self.source,
-                    node=node,
-                    qualname=qual,
-                    class_name=class_info.name if class_info else None,
-                )
-                self._scan_function(node, info)
-                self.functions.append(info)
-                if class_info is not None:
-                    class_info.methods[node.name] = info
-            elif isinstance(node, ast.ClassDef):
-                bases = [self._base_name(base) for base in node.bases]
-                cls = ClassInfo(name=node.name, bases=[b for b in bases if b])
-                self.classes.append(cls)
-                self._visit_body(node.body, prefix=node.name, class_info=cls)
-            elif isinstance(node, (ast.If, ast.Try, ast.With, ast.For, ast.While)):
-                # classes/functions nested in control flow at module level
-                for child_body in _stmt_bodies(node):
-                    self._visit_body(child_body, prefix, class_info)
-
-    @staticmethod
-    def _base_name(base: ast.expr) -> str:
-        if isinstance(base, ast.Name):
-            return base.id
-        if isinstance(base, ast.Attribute):
-            return base.attr
-        return ""
-
-    # -- per-function scan (own scope: nested defs are boundaries) ---------------
-
-    def _scan_function(self, fn: ast.AST, info: FunctionInfo) -> None:
-        nested: list[tuple[ast.AST, FunctionInfo]] = []
-
-        def walk(node: ast.AST, under_yield: bool) -> None:
-            for child in ast.iter_child_nodes(node):
-                if isinstance(
-                    child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
-                ):
-                    if not isinstance(child, ast.Lambda):
-                        qual = f"{info.qualname}.<locals>.{child.name}"
-                        sub = FunctionInfo(
-                            source=self.source,
-                            node=child,
-                            qualname=qual,
-                            class_name=info.class_name,
-                        )
-                        nested.append((child, sub))
-                    continue
-                if isinstance(child, (ast.Yield, ast.YieldFrom)):
-                    info.is_generator = True
-                    info.yield_lines.append(child.lineno)
-                    walk(child, under_yield=True)
-                    continue
-                if isinstance(child, ast.Call):
-                    self._note_call(child, info, under_yield)
-                walk(child, under_yield=False)
-
-        walk(fn, under_yield=False)
-        self._scan_lock_events(fn, info)
-        for child, sub in nested:
-            self._scan_function(child, sub)
-            self.functions.append(sub)
-
-    def _note_call(
-        self, node: ast.Call, info: FunctionInfo, under_yield: bool
-    ) -> None:
-        func = node.func
-        callee = (
-            func.id
-            if isinstance(func, ast.Name)
-            else func.attr
-            if isinstance(func, ast.Attribute)
-            else ""
-        )
-        if callee in SCHEDULER_HANDOFF:
-            for arg in [*node.args, *(kw.value for kw in node.keywords)]:
-                if isinstance(arg, ast.Call):
-                    self._deferred_ids.add(id(arg))
-        deferred = id(node) in self._deferred_ids
-        if isinstance(func, ast.Name):
-            info.calls.append(
-                CallSite(
-                    kind="name",
-                    name=func.id,
-                    line=node.lineno,
-                    under_yield=under_yield,
-                    dotted=self.source.import_aliases.get(func.id, func.id),
-                    deferred=deferred,
-                )
-            )
-        elif isinstance(func, ast.Attribute):
-            if isinstance(func.value, ast.Name) and func.value.id in (
-                "self",
-                "cls",
-            ):
-                kind = "self"
-            else:
-                kind = "attr"
-            info.calls.append(
-                CallSite(
-                    kind=kind,
-                    name=func.attr,
-                    line=node.lineno,
-                    under_yield=under_yield,
-                    deferred=deferred,
-                )
-            )
-
-    # -- lock events in statement order -------------------------------------------
-
-    def _scan_lock_events(self, fn: ast.AST, info: FunctionInfo) -> None:
-        if not self.lock_names:
-            return
-
-        def lock_of(call: ast.Call) -> Optional[str]:
-            func = call.func
-            if not isinstance(func, ast.Attribute):
-                return None
-            if func.attr not in ("acquire", "release"):
-                return None
-            target = func.value
-            name = None
-            if isinstance(target, ast.Name):
-                name = target.id
-            elif isinstance(target, ast.Attribute):
-                name = target.attr
-            return name if name in self.lock_names else None
-
-        def scan_expr(node: ast.AST) -> None:
-            for child in ast.walk(node):
-                if not isinstance(child, ast.Call):
-                    continue
-                lock = lock_of(child)
-                if lock is not None:
-                    op = child.func.attr  # type: ignore[union-attr]
-                    info.lock_events.append(LockEvent(op, lock, child.lineno))
-                elif isinstance(child.func, (ast.Name, ast.Attribute)):
-                    site = _call_site_of(child, self.source)
-                    if site is not None:
-                        info.lock_events.append(
-                            LockEvent("call", site.name, child.lineno, call=site)
-                        )
-
-        def scan_body(body: list[ast.stmt]) -> None:
-            for stmt in body:
-                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
-                    continue
-                if isinstance(stmt, ast.With):
-                    held: list[str] = []
-                    for item in stmt.items:
-                        expr = item.context_expr
-                        name = None
-                        if isinstance(expr, ast.Name):
-                            name = expr.id
-                        elif isinstance(expr, ast.Attribute):
-                            name = expr.attr
-                        if name in self.lock_names:
-                            info.lock_events.append(
-                                LockEvent("acquire", name, stmt.lineno)
-                            )
-                            held.append(name)
-                        else:
-                            scan_expr(expr)
-                    scan_body(stmt.body)
-                    for name in reversed(held):
-                        info.lock_events.append(
-                            LockEvent(
-                                "release",
-                                name,
-                                getattr(stmt, "end_lineno", stmt.lineno)
-                                or stmt.lineno,
-                            )
-                        )
-                    continue
-                for expr in _stmt_exprs(stmt):
-                    scan_expr(expr)
-                for body_part in _stmt_bodies(stmt):
-                    scan_body(body_part)
-
-        scan_body(getattr(fn, "body", []))
-
-
-def _call_site_of(node: ast.Call, source: SourceFile) -> Optional[CallSite]:
-    func = node.func
-    if isinstance(func, ast.Name):
-        return CallSite(
-            kind="name",
-            name=func.id,
-            line=node.lineno,
-            under_yield=False,
-            dotted=source.import_aliases.get(func.id, func.id),
-        )
-    if isinstance(func, ast.Attribute):
-        kind = (
-            "self"
-            if isinstance(func.value, ast.Name) and func.value.id in ("self", "cls")
-            else "attr"
-        )
-        return CallSite(kind=kind, name=func.attr, line=node.lineno, under_yield=False)
-    return None
-
-
-def _stmt_exprs(stmt: ast.stmt) -> list[ast.AST]:
-    """Expression roots of a statement, excluding nested statement bodies."""
-    out: list[ast.AST] = []
-    for fieldname, value in ast.iter_fields(stmt):
-        if fieldname in ("body", "orelse", "finalbody", "handlers"):
-            continue
-        if isinstance(value, ast.expr):
-            out.append(value)
-        elif isinstance(value, list):
-            out.extend(v for v in value if isinstance(v, ast.expr))
-    return out
-
-
-def _stmt_bodies(stmt: ast.stmt) -> list[list[ast.stmt]]:
-    bodies: list[list[ast.stmt]] = []
-    for fieldname in ("body", "orelse", "finalbody"):
-        value = getattr(stmt, fieldname, None)
-        if isinstance(value, list) and value and isinstance(value[0], ast.stmt):
-            bodies.append(value)
-    for handler in getattr(stmt, "handlers", []) or []:
-        bodies.append(handler.body)
-    if isinstance(stmt, (ast.If, ast.While, ast.For)):
-        pass  # already covered via body/orelse
-    return bodies
-
-
-class _CallGraph:
-    """Project-wide index with confident-only call resolution."""
-
-    def __init__(self, project: Project) -> None:
-        self.functions: list[FunctionInfo] = []
-        self.classes: dict[str, list[ClassInfo]] = {}
-        self.module_functions: dict[tuple[str, str], FunctionInfo] = {}
-        self.by_name: dict[str, list[FunctionInfo]] = {}
-        self.lock_names = _discover_lock_names(project)
-        for source in project.files:
-            if source.tree is None:
-                continue
-            collector = _FunctionCollector(source, self.lock_names)
-            collector.collect()
-            self.functions.extend(collector.functions)
-            for cls in collector.classes:
-                self.classes.setdefault(cls.name, []).append(cls)
-            for fn in collector.functions:
-                self.by_name.setdefault(fn.name, []).append(fn)
-                if "." not in fn.qualname:
-                    self.module_functions[(source.relpath, fn.qualname)] = fn
-        self._compute_may_yield()
-
-    # -- resolution ---------------------------------------------------------------
-
-    def resolve(self, caller: FunctionInfo, site: CallSite) -> list[FunctionInfo]:
-        if site.kind == "name":
-            local = self.module_functions.get((caller.source.relpath, site.name))
-            if local is not None:
-                return [local]
-            dotted = site.dotted
-            if dotted and "." in dotted:
-                module_path, func_name = dotted.rsplit(".", 1)
-                suffix = module_path.replace(".", "/") + ".py"
-                for (relpath, name), fn in self.module_functions.items():
-                    if name == func_name and relpath.endswith(suffix):
-                        return [fn]
-            return []
-        if site.kind == "self" and caller.class_name:
-            return self._resolve_method(caller.class_name, site.name, set())
-        return []
-
-    def _resolve_method(
-        self, class_name: str, method: str, seen: set[str]
-    ) -> list[FunctionInfo]:
-        if class_name in seen:
-            return []
-        seen.add(class_name)
-        out: list[FunctionInfo] = []
-        for cls in self.classes.get(class_name, []):
-            if method in cls.methods:
-                out.append(cls.methods[method])
-                continue
-            for base in cls.bases:
-                out.extend(self._resolve_method(base, method, seen))
-        return out
-
-    # -- may-yield fixpoint ---------------------------------------------------------
-
-    def _compute_may_yield(self) -> None:
-        for fn in self.functions:
-            fn.may_yield = fn.is_generator
-        changed = True
-        while changed:
-            changed = False
-            for fn in self.functions:
-                if fn.may_yield:
-                    continue
-                for site in fn.calls:
-                    if site.deferred:
-                        continue
-                    for target in self.resolve(fn, site):
-                        if target.may_yield:
-                            fn.may_yield = True
-                            fn.witness = target
-                            changed = True
-                            break
-                    if fn.may_yield:
-                        break
-
-    def transitive_locks(self) -> dict[int, set[str]]:
-        """``id(fn) -> locks fn acquires, directly or via confident calls``."""
-        acquired: dict[int, set[str]] = {
-            id(fn): {
-                event.name for event in fn.lock_events if event.op == "acquire"
-            }
-            for fn in self.functions
-        }
-        changed = True
-        while changed:
-            changed = False
-            for fn in self.functions:
-                mine = acquired[id(fn)]
-                for event in fn.lock_events:
-                    if event.op != "call" or event.call is None:
-                        continue
-                    for target in self.resolve(fn, event.call):
-                        extra = acquired[id(target)] - mine
-                        if extra:
-                            mine |= extra
-                            changed = True
-        return acquired
-
-
-def _discover_lock_names(project: Project) -> frozenset[str]:
-    """Attribute/variable names assigned a ``Lock(...)`` anywhere."""
-    names: set[str] = set()
-    for source in project.files:
-        if source.tree is None:
-            continue
-        for node in ast.walk(source.tree):
-            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
-                continue
-            value = node.value
-            if not isinstance(value, ast.Call):
-                continue
-            func = value.func
-            callee = (
-                func.id
-                if isinstance(func, ast.Name)
-                else func.attr
-                if isinstance(func, ast.Attribute)
-                else ""
-            )
-            if not callee.endswith("Lock"):
-                continue
-            target = node.targets[0]
-            if isinstance(target, ast.Attribute):
-                names.add(target.attr)
-            elif isinstance(target, ast.Name):
-                names.add(target.id)
-    return frozenset(names)
+from repro.analysis.source import Project
 
 
 class AtomicityChecker(Checker):
@@ -502,13 +54,12 @@ class AtomicityChecker(Checker):
         "ATM003": "lock acquisition-order cycle",
         "ATM004": "malformed atomicity annotation",
     }
+    default_scope = ("src/repro/",)
 
     def check_project(self, project: Project) -> Iterable[Finding]:
-        graph = _CallGraph(project)
+        graph = CallGraph(project)
         findings: list[Finding] = []
-        for source in project.files:
-            if source.tree is None:
-                continue
+        for source in self.scoped_files(project):
             findings.extend(self._check_markers(source, graph))
         findings.extend(self._check_lock_order(project, graph))
         return findings
@@ -516,14 +67,14 @@ class AtomicityChecker(Checker):
     # -- declared-atomic functions and regions ----------------------------------
 
     def _check_markers(
-        self, source: SourceFile, graph: _CallGraph
+        self, source: SourceFile, graph: CallGraph
     ) -> list[Finding]:
         findings: list[Finding] = []
         functions = [fn for fn in graph.functions if fn.source is source]
         open_regions: dict[str, int] = {}
         for marker in source.directives.atomic_markers:
             if marker.kind == "function":
-                fn = self._function_at(functions, marker.line)
+                fn = function_at_marker(functions, marker.line)
                 if fn is None:
                     findings.append(
                         self.finding(
@@ -576,21 +127,8 @@ class AtomicityChecker(Checker):
             )
         return findings
 
-    @staticmethod
-    def _function_at(
-        functions: list[FunctionInfo], marker_line: int
-    ) -> Optional[FunctionInfo]:
-        for fn in functions:
-            node = fn.node
-            candidates = {node.lineno, node.lineno - 1}
-            for decorator in getattr(node, "decorator_list", []):
-                candidates.add(decorator.lineno - 1)
-            if marker_line in candidates or marker_line + 1 in {node.lineno}:
-                return fn
-        return None
-
     def _check_atomic_function(
-        self, source: SourceFile, fn: FunctionInfo, graph: _CallGraph
+        self, source: SourceFile, fn: FunctionInfo, graph: CallGraph
     ) -> list[Finding]:
         findings: list[Finding] = []
         if fn.is_generator:
@@ -627,7 +165,7 @@ class AtomicityChecker(Checker):
     def _check_region(
         self,
         source: SourceFile,
-        graph: _CallGraph,
+        graph: CallGraph,
         region_name: str,
         begin: int,
         end: int,
@@ -688,12 +226,14 @@ class AtomicityChecker(Checker):
     # -- lock-order cycles ---------------------------------------------------------
 
     def _check_lock_order(
-        self, project: Project, graph: _CallGraph
+        self, project: Project, graph: CallGraph
     ) -> list[Finding]:
         acquired = graph.transitive_locks()
         # edge (held -> wanted) -> one witness (source, line, qualname)
         edges: dict[tuple[str, str], tuple[SourceFile, int, str]] = {}
         for fn in graph.functions:
+            if not self.applies_to(fn.source):
+                continue
             held: list[str] = []
             for event in fn.lock_events:
                 if event.op == "acquire":

@@ -114,6 +114,10 @@ class DeterminismChecker(Checker):
         "repro/services/",
         "repro/chaos/",
         "repro/obs/",
+        # runnable entry points drive the sim too: a wall-clock read or
+        # unseeded RNG there breaks reproducibility just as surely.
+        "benchmarks/",
+        "examples/",
     )
 
     def check_file(

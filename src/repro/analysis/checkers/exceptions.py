@@ -155,7 +155,7 @@ class ExceptionSafetyChecker(Checker):
         "EXC002": "overbroad except without re-raise or justification",
         "EXC003": "recoverable comm failure swallowed outside designated handlers",
     }
-    default_scope = ("repro/",)
+    default_scope = ("repro/", "benchmarks/", "examples/")
 
     def check_file(
         self, source: SourceFile, project: Project

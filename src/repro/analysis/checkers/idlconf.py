@@ -145,6 +145,9 @@ class IdlConformanceChecker(Checker):
         "IDL005": "compiled stub operation table disagrees with the IDL",
         "IDL006": "generated fast-path tables disagree with the IDL",
     }
+    # IDL constants, servants and proxies all live in the package tree;
+    # benchmarks/examples subclass stubs without owning any IDL contract.
+    default_scope = ("repro/",)
 
     def check_project(self, project: Project) -> Iterable[Finding]:
         findings: list[Finding] = []
@@ -164,9 +167,7 @@ class IdlConformanceChecker(Checker):
         self, project: Project, findings: list[Finding]
     ) -> list[IdlDocument]:
         documents: list[IdlDocument] = []
-        for source in project.files:
-            if source.tree is None:
-                continue
+        for source in self.scoped_files(project):
             for node in source.tree.body:
                 if (
                     not isinstance(node, pyast.Assign)
@@ -207,9 +208,7 @@ class IdlConformanceChecker(Checker):
     ) -> list[Finding]:
         findings: list[Finding] = []
         class_index = _class_index(project)
-        for source in project.files:
-            if source.tree is None:
-                continue
+        for source in self.scoped_files(project):
             for node in pyast.walk(source.tree):
                 if not isinstance(node, pyast.ClassDef):
                     continue
@@ -257,9 +256,7 @@ class IdlConformanceChecker(Checker):
     ) -> list[Finding]:
         findings: list[Finding] = []
         class_index = _class_index(project)
-        for source in project.files:
-            if source.tree is None:
-                continue
+        for source in self.scoped_files(project):
             for node in pyast.walk(source.tree):
                 if not isinstance(node, pyast.ClassDef):
                     continue

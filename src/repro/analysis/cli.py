@@ -12,16 +12,27 @@ Typical invocations::
 from __future__ import annotations
 
 import argparse
+import hashlib
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.analysis.baseline import Baseline, BaselineError
+from repro.analysis.cache import AnalysisCache
 from repro.analysis.checkers import ALL_CHECKERS
-from repro.analysis.findings import AnalysisResult
+from repro.analysis.findings import AnalysisResult, Finding
 from repro.analysis.framework import checker_catalog, run_checkers
-from repro.analysis.report import render_catalog, render_json, render_text
-from repro.analysis.source import Project, find_repo_root
+from repro.analysis.report import (
+    render_cache_line,
+    render_catalog,
+    render_json,
+    render_text,
+)
+from repro.analysis.source import (
+    Project,
+    discover_python_files,
+    find_repo_root,
+)
 
 BASELINE_FILENAME = "analysis-baseline.json"
 
@@ -38,7 +49,16 @@ def build_parser() -> argparse.ArgumentParser:
         "paths",
         nargs="*",
         type=Path,
-        help="files or directories to analyse (default: the src/repro tree)",
+        help="files or directories to analyse (default: the src/repro "
+        "tree plus benchmarks/ and examples/)",
+    )
+    parser.add_argument(
+        "--cache",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="content-hash keyed incremental cache directory; unchanged "
+        "files and file sets reuse previous results",
     )
     parser.add_argument(
         "--root",
@@ -117,14 +137,34 @@ def run(argv: Optional[Sequence[str]] = None) -> int:
             default_tree = Path(repro.__file__).parent
             root = find_repo_root(default_tree)
         paths = [default_tree]
+        # the scoped families also gate the runnable entry points.
+        for extra in ("benchmarks", "examples"):
+            extra_tree = root / extra
+            if extra_tree.is_dir():
+                paths.append(extra_tree)
 
-    project = Project.from_paths(paths, root=root, semantic=not args.no_semantic)
+    semantic = not args.no_semantic
+    select = _parse_select(args.select)
+    file_paths = discover_python_files(paths, root)
+
+    cache: Optional[AnalysisCache] = None
+    if args.cache is not None:
+        cache = AnalysisCache(args.cache)
+        cache.set_file_set(
+            {
+                _cli_relpath(path, root): hashlib.sha256(
+                    path.read_bytes()
+                ).hexdigest()
+                for path in file_paths
+            }
+        )
 
     baseline_path = args.baseline or (root / BASELINE_FILENAME)
     baseline: Optional[Baseline] = None
     if args.write_baseline:
+        project = Project.from_files(file_paths, root=root, semantic=semantic)
         result = run_checkers(
-            project, checkers, baseline=None, select=_parse_select(args.select)
+            project, checkers, baseline=None, select=select, cache=cache
         )
         baseline_path.write_text(
             Baseline.render(result.findings), encoding="utf-8"
@@ -141,17 +181,82 @@ def run(argv: Optional[Sequence[str]] = None) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
 
-    result = run_checkers(
-        project, checkers, baseline=baseline, select=_parse_select(args.select)
-    )
+    cached = cache.load_full(semantic, select) if cache is not None else None
+    if cached is not None:
+        # Identical tree + checkers: replay without parsing.  Only the
+        # baseline (which changes independently of the tree) is re-applied.
+        kept, suppressed = cached
+        result = _classify_cached(
+            kept, suppressed, baseline, select, len(file_paths), checkers
+        )
+    else:
+        project = Project.from_files(file_paths, root=root, semantic=semantic)
+        result = run_checkers(
+            project, checkers, baseline=baseline, select=select, cache=cache
+        )
+        if cache is not None:
+            pre_baseline = sorted(
+                [*result.findings, *result.baselined],
+                key=lambda f: (f.path, f.line, f.code),
+            )
+            cache.store_full(semantic, select, pre_baseline, result.suppressed)
+
     print(render_text(result, verbose=args.verbose))
+    if cache is not None:
+        print(render_cache_line(cache.stats))
     if args.json is not None:
-        payload = render_json(result, strict=args.strict)
+        payload = render_json(
+            result,
+            strict=args.strict,
+            cache_stats=cache.stats if cache is not None else None,
+        )
         if str(args.json) == "-":
             sys.stdout.write(payload)
         else:
             Path(args.json).write_text(payload, encoding="utf-8")
     return result.exit_code(strict=args.strict)
+
+
+def _cli_relpath(path: Path, root: Path) -> str:
+    try:
+        return path.relative_to(root).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def _classify_cached(
+    kept: list[Finding],
+    suppressed: list[Finding],
+    baseline: Optional[Baseline],
+    select: Optional[list[str]],
+    files_checked: int,
+    checkers: list,
+) -> AnalysisResult:
+    """Re-apply the baseline over a replayed full-run cache entry."""
+    result = AnalysisResult(
+        files_checked=files_checked,
+        checkers_run=tuple(checker.name for checker in checkers),
+    )
+    result.suppressed = list(suppressed)
+    matched: set[str] = set()
+    for finding in kept:
+        if baseline is not None and baseline.matches(finding):
+            matched.add(finding.fingerprint)
+            result.baselined.append(finding)
+        else:
+            result.findings.append(finding)
+    if baseline is not None:
+        stale = baseline.unmatched(matched)
+        if select:
+            wanted = {code.strip().upper() for code in select}
+            stale = [
+                entry
+                for entry in stale
+                if str(entry.get("code", "")) in wanted
+                or str(entry.get("code", "")).rstrip("0123456789") in wanted
+            ]
+        result.stale_baseline = stale
+    return result
 
 
 def _parse_select(select: Optional[str]) -> Optional[list[str]]:

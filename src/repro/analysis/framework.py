@@ -17,6 +17,7 @@ import ast
 from typing import ClassVar, Iterable, Optional, Sequence
 
 from repro.analysis.baseline import Baseline
+from repro.analysis.cache import AnalysisCache
 from repro.analysis.findings import AnalysisResult, Finding, Severity
 from repro.analysis.source import Project, SourceFile
 
@@ -75,6 +76,19 @@ class Checker:
         rel = f"/{source.relpath}"
         return any(f"/{fragment}" in rel for fragment in self.scope)
 
+    def scoped_files(self, project: Project) -> list[SourceFile]:
+        """Parsed project files this checker's scope selects.
+
+        ``check_project`` implementations iterate this instead of
+        ``project.files`` so path scoping applies to cross-module passes
+        exactly as the runner applies it to per-file passes.
+        """
+        return [
+            source
+            for source in project.files
+            if source.tree is not None and self.applies_to(source)
+        ]
+
     def check_file(
         self, source: SourceFile, project: Project
     ) -> Iterable[Finding]:
@@ -118,16 +132,46 @@ def run_checkers(
     checkers: Sequence[Checker],
     baseline: Optional[Baseline] = None,
     select: Optional[Sequence[str]] = None,
+    cache: Optional[AnalysisCache] = None,
 ) -> AnalysisResult:
-    """Run ``checkers`` over ``project`` and post-process the findings."""
+    """Run ``checkers`` over ``project`` and post-process the findings.
+
+    With ``cache``, ``check_project`` results are reused when the whole
+    file set is unchanged and ``check_file`` results when that file is
+    unchanged (``check_file`` is per-module by framework contract, so a
+    single file's content hash is a sound key).
+    """
     raw: list[Finding] = list(project.config_findings())
     for checker in checkers:
-        raw.extend(checker.check_project(project))
+        project_findings: Optional[list[Finding]] = None
+        if cache is not None:
+            project_findings = cache.load_project_findings(
+                checker.name, project.semantic
+            )
+        if project_findings is None:
+            project_findings = list(checker.check_project(project))
+            if cache is not None:
+                cache.store_project_findings(
+                    checker.name, project.semantic, project_findings
+                )
+        raw.extend(project_findings)
         for source in project.files:
             if source.tree is None or not checker.applies_to(source):
                 continue
-            raw.extend(checker.check_file(source, project))
+            file_findings: Optional[list[Finding]] = None
+            if cache is not None:
+                file_findings = cache.load_file_findings(
+                    checker.name, source.relpath
+                )
+            if file_findings is None:
+                file_findings = list(checker.check_file(source, project))
+                if cache is not None:
+                    cache.store_file_findings(
+                        checker.name, source.relpath, file_findings
+                    )
+            raw.extend(file_findings)
 
+    wanted: Optional[set[str]] = None
     if select:
         wanted = {code.strip().upper() for code in select}
         raw = [
@@ -155,7 +199,18 @@ def run_checkers(
             continue
         result.findings.append(finding)
     if baseline is not None:
-        result.stale_baseline = baseline.unmatched(matched_fingerprints)
+        stale = baseline.unmatched(matched_fingerprints)
+        if wanted is not None:
+            # Under --select only the selected families ran: an entry for
+            # an unselected family matched nothing *because its checker
+            # never fired*, which is not evidence of staleness.
+            stale = [
+                entry
+                for entry in stale
+                if str(entry.get("code", "")) in wanted
+                or str(entry.get("code", "")).rstrip("0123456789") in wanted
+            ]
+        result.stale_baseline = stale
     return result
 
 

@@ -4,8 +4,9 @@ from __future__ import annotations
 
 import json
 from collections import Counter
-from typing import Sequence
+from typing import Optional, Sequence
 
+from repro.analysis.cache import CacheStats
 from repro.analysis.findings import AnalysisResult
 
 
@@ -55,7 +56,20 @@ def summary_line(result: AnalysisResult) -> str:
     )
 
 
-def render_json(result: AnalysisResult, strict: bool = False) -> str:
+def render_cache_line(stats: CacheStats) -> str:
+    if stats.full_hit:
+        return "cache: full-run hit (analysis replayed without re-parsing)"
+    return (
+        f"cache: {stats.hits} hit(s), {stats.misses} miss(es) "
+        f"({stats.hit_rate:.0%} hit rate)"
+    )
+
+
+def render_json(
+    result: AnalysisResult,
+    strict: bool = False,
+    cache_stats: Optional[CacheStats] = None,
+) -> str:
     payload = {
         "version": 1,
         "summary": {
@@ -73,6 +87,11 @@ def render_json(result: AnalysisResult, strict: bool = False) -> str:
         "baselined": [finding.to_dict() for finding in result.baselined],
         "suppressed": [finding.to_dict() for finding in result.suppressed],
         "stale_baseline": result.stale_baseline,
+        "cache": (
+            cache_stats.to_dict()
+            if cache_stats is not None
+            else CacheStats().to_dict()
+        ),
     }
     return json.dumps(payload, indent=2) + "\n"
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import ast
 import io
+import subprocess
 import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -132,10 +133,22 @@ class Project:
         paths = [Path(p).resolve() for p in paths]
         if root is None:
             root = find_repo_root(paths[0] if paths else Path.cwd())
+        root = Path(root).resolve()
+        return cls.from_files(
+            discover_python_files(paths, root), root=root, semantic=semantic
+        )
+
+    @classmethod
+    def from_files(
+        cls,
+        file_paths: Iterable[Path],
+        root: Path,
+        semantic: bool = True,
+    ) -> "Project":
+        """Build a project from an already-discovered, ordered file list."""
         project = cls(root=Path(root).resolve(), semantic=semantic)
-        for path in paths:
-            for file_path in sorted(_iter_python_files(path)):
-                project.files.append(SourceFile.load(file_path, project.root))
+        for file_path in file_paths:
+            project.files.append(SourceFile.load(file_path, project.root))
         return project
 
     def by_relpath(self, relpath: str) -> Optional[SourceFile]:
@@ -172,6 +185,56 @@ class Project:
                     )
                 )
         return findings
+
+
+def discover_python_files(
+    paths: Iterable[Path], root: Path
+) -> list[Path]:
+    """The sorted, deduplicated file set an analysis run operates on.
+
+    Directory walks are intersected with ``git ls-files`` when ``root``
+    is a git work tree: untracked scratch files (and ``__pycache__``,
+    always) cannot make a dirty local tree report differently from CI.
+    Files named *explicitly* are always analysed, tracked or not — naming
+    a file is an instruction, walking a directory is a default.
+    """
+    tracked = _git_tracked_files(Path(root))
+    out: list[Path] = []
+    seen: set[Path] = set()
+    for path in paths:
+        path = Path(path)
+        for candidate in sorted(_iter_python_files(path)):
+            if candidate in seen:
+                continue
+            if (
+                tracked is not None
+                and path.is_dir()
+                and candidate not in tracked
+            ):
+                continue
+            seen.add(candidate)
+            out.append(candidate)
+    return out
+
+
+def _git_tracked_files(root: Path) -> Optional[set[Path]]:
+    """Absolute paths of git-tracked files, or None outside a work tree."""
+    if not (root / ".git").exists():
+        return None
+    try:
+        proc = subprocess.run(
+            ["git", "-C", str(root), "ls-files", "-z"],
+            capture_output=True,
+            check=True,
+            timeout=30,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    return {
+        (root / name).resolve()
+        for name in proc.stdout.decode("utf-8", "replace").split("\0")
+        if name
+    }
 
 
 def _iter_python_files(path: Path) -> Iterator[Path]:

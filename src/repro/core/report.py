@@ -250,17 +250,25 @@ def format_runtime_report(report: dict) -> str:
             )
         )
     ft = report["fault_tolerance"]
-    sections.append(
+    ft_line = (
         f"Fault tolerance: {ft['checkpoints_stored']} checkpoints "
         f"({ft['checkpoint_bytes']} bytes), {ft['recoveries']} recoveries "
         f"({ft['recovery_time_total']:.3f}s), "
         f"{ft['failed_recoveries']} failed"
     )
+    if ft["delta_stores"] or ft["delta_rejections"]:
+        ft_line += (
+            f"; store-side deltas: {ft['delta_stores']} applied "
+            f"({ft['delta_bytes']} bytes), "
+            f"{ft['delta_rejections']} rejected"
+        )
+    sections.append(ft_line)
     proxies = report.get("ft_proxies")
     if proxies and proxies["proxies"]:
         line = (
             f"FT proxies: {proxies['proxies']} proxies, "
-            f"{proxies['calls']} calls, "
+            f"{proxies['calls']} calls "
+            f"({proxies['retries']} retries), "
             f"{proxies['checkpoints_taken']} checkpoints taken "
             f"({proxies['checkpoints_buffered']} buffered, "
             f"{proxies['checkpoints_flushed']} flushed)"
@@ -279,7 +287,9 @@ def format_runtime_report(report: dict) -> str:
                 f"{proxies['checkpoints_skipped']} skipped, "
                 f"{proxies['bytes_shipped']} bytes shipped), "
                 f"pipeline peak depth {proxies['pipeline_peak_depth']} "
-                f"({proxies['pipeline_stalls']} stalls)"
+                f"({proxies['pipeline_stalls']} stalls, "
+                f"{proxies['pipeline_inflight']} in flight and "
+                f"{proxies['buffer_depth']} buffered at report time)"
             )
         sections.append(line)
     repl = report.get("replication")

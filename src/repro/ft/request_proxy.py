@@ -56,6 +56,7 @@ class FtRequest:
         if self._outer is not None:
             raise BAD_OPERATION(f"request {self.operation!r} was already sent")
         orb = self._proxy._orb
+        # analysis: ignore[RACE004]: _outer is published exactly once, before _supervise is spawned; the supervising process only reads it afterwards, so the lock it takes guards proxy state, not this publish
         self._outer = orb.sim.future(label=f"ft-req:{self.operation}")
         process = orb.host.spawn(self._supervise(), name=f"ft-req:{self.operation}")
         process.add_done_callback(

@@ -1,0 +1,74 @@
+"""Deliberate lifecycle (LIF) violations.  Never imported — parsed only.
+
+Each protocol appears twice: a leaky opener that must be flagged and the
+clean shape that must be accepted.
+"""
+
+
+class LeakyGate:
+    """Probes the breaker but never records the outcome (LIF001)."""
+
+    def __init__(self, breaker):
+        self._breaker = breaker
+
+    def submit(self, payload):
+        if not self._breaker.allow():  # MARK:LIF001
+            return None
+        return payload
+
+
+class RecordingGate:
+    """Probes and records both outcomes — the clean shape."""
+
+    def __init__(self, breaker):
+        self._breaker = breaker
+
+    def submit(self, payload):
+        if not self._breaker.allow():  # MARK:ok-allow
+            self._breaker.record_failure()
+            return None
+        self._breaker.record_success()
+        return payload
+
+
+class StuckPipeline:
+    """Begins pipelined checkpoints but defines no drain sink (LIF002)."""
+
+    def _checkpoint_pipelined(self, state):  # MARK:LIF002
+        self.pending = state
+
+
+class DrainedPipeline:
+    """Defines the drain sink and exercises it — clean."""
+
+    def _checkpoint_pipelined(self, state):  # MARK:ok-pipeline
+        self.pending = state
+
+    def _drain_pipeline(self):
+        self.pending = None
+
+    def flush(self):
+        self._drain_pipeline()
+
+
+class LeakyConnector:
+    """Opens a cache entry and never resolves it (LIF003)."""
+
+    def __init__(self, cache):
+        self._cache = cache
+
+    def connect(self, key):
+        entry = self._cache.begin(key)  # MARK:LIF003
+        return entry
+
+
+class ResolvingConnector:
+    """Opens the entry and commits it — clean."""
+
+    def __init__(self, cache):
+        self._cache = cache
+
+    def connect(self, key):
+        entry = self._cache.begin(key)  # MARK:ok-begin
+        entry.commit()
+        return entry
